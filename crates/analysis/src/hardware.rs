@@ -1,0 +1,135 @@
+//! On-chip hardware cost accounting (Table III, §X-D).
+//!
+//! Storage sizes are derived from the architecture configuration; areas use
+//! per-KiB scaling constants fitted to the paper's CACTI 7 (45 nm) numbers
+//! (plain SRAM arrays vs CAM-style structures vs the tracker's
+//! counter+comparator array).
+
+use ivl_sim_core::config::SystemConfig;
+
+/// Area per KiB for plain SRAM arrays (45 nm), from 204 KiB → 0.33 mm².
+pub const SRAM_MM2_PER_KIB: f64 = 0.33 / 204.0;
+/// Area per KiB for small CAM structures, from 528 B → 0.0071 mm².
+pub const CAM_MM2_PER_KIB: f64 = 0.0071 / (528.0 / 1024.0);
+/// Area per KiB for the tracker (counters + comparators), 848 B → 0.018 mm².
+pub const TRACKER_MM2_PER_KIB: f64 = 0.018 / (848.0 / 1024.0);
+
+/// One Table III row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostRow {
+    /// Component name.
+    pub component: &'static str,
+    /// On-chip storage in bytes.
+    pub storage_bytes: u64,
+    /// Estimated area in mm² (45 nm).
+    pub area_mm2: f64,
+}
+
+/// Table III plus off-chip overheads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareCost {
+    /// On-chip rows.
+    pub rows: Vec<CostRow>,
+    /// In-memory NFL metadata bytes (64-bit entry per TreeLing node).
+    pub offchip_nfl_bytes: u64,
+    /// NFL metadata as a fraction of system memory.
+    pub offchip_nfl_fraction: f64,
+    /// Integrity-tree metadata as a fraction of system memory.
+    pub tree_metadata_fraction: f64,
+}
+
+impl HardwareCost {
+    /// Total on-chip area.
+    pub fn total_area_mm2(&self) -> f64 {
+        self.rows.iter().map(|r| r.area_mm2).sum()
+    }
+}
+
+/// Computes the hardware cost of the configured IvLeague design.
+pub fn hardware_cost(cfg: &SystemConfig) -> HardwareCost {
+    let cores = cfg.core.cores as u64;
+    let iv = &cfg.ivleague;
+
+    // NFL buffer: per-core NFLB entries (64 B block + 2 B tag/valid) plus a
+    // 4-bit head register; paper: 528 B total logic+buffer.
+    let nflb_bytes = cores * iv.nflb_entries_per_domain as u64 * 66 + cores;
+
+    // LMM cache: entries × (8 B leaf ID + ~17 B tag/valid/LRU) ≈ 204 KiB at
+    // the default 8 Ki entries.
+    let lmm_bytes = iv.lmm_cache_entries as u64 * 26;
+
+    // Hotpage tracker: per-core entries × (page tag 48 b + counter + flags).
+    let tracker_entry_bits = 48 + iv.tracker_counter_bits as u64 + 2;
+    let tracker_bytes = cores * (iv.tracker_entries as u64 * tracker_entry_bits).div_ceil(8);
+
+    let rows = vec![
+        CostRow {
+            component: "NFL Logic and Buffer",
+            storage_bytes: nflb_bytes,
+            area_mm2: nflb_bytes as f64 / 1024.0 * CAM_MM2_PER_KIB,
+        },
+        CostRow {
+            component: "LMM Cache",
+            storage_bytes: lmm_bytes,
+            area_mm2: lmm_bytes as f64 / 1024.0 * SRAM_MM2_PER_KIB,
+        },
+        CostRow {
+            component: "Hotpage Predictor (IvLeague-Pro)",
+            storage_bytes: tracker_bytes,
+            area_mm2: tracker_bytes as f64 / 1024.0 * TRACKER_MM2_PER_KIB,
+        },
+    ];
+
+    // Off-chip: 64-bit NFL entry per TreeLing node.
+    let geometry = ivleague::geometry::TreeLingGeometry::new(
+        cfg.secure.tree_arity as u32,
+        iv.treeling_levels as u32,
+    );
+    let nodes_total = iv.treeling_count as u64 * geometry.nodes_per_treeling() as u64;
+    let offchip_nfl_bytes = nodes_total * 8;
+    let tree_bytes = nodes_total * 64;
+
+    HardwareCost {
+        rows,
+        offchip_nfl_bytes,
+        offchip_nfl_fraction: offchip_nfl_bytes as f64 / cfg.dram.capacity_bytes as f64,
+        tree_metadata_fraction: tree_bytes as f64 / cfg.dram.capacity_bytes as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_in_paper_ballpark() {
+        let cost = hardware_cost(&SystemConfig::default());
+        // Paper: 0.3551 mm² total; accept the same order of magnitude.
+        let total = cost.total_area_mm2();
+        assert!((0.2..0.6).contains(&total), "total area {total}");
+        // LMM cache ≈ 204 KiB.
+        let lmm = &cost.rows[1];
+        assert!((180 * 1024..230 * 1024).contains(&(lmm.storage_bytes as usize)));
+    }
+
+    #[test]
+    fn offchip_overheads_are_small() {
+        let cost = hardware_cost(&SystemConfig::default());
+        // Paper: 16 MB NFL ≈ 0.05%, tree ≈ 0.7%. Our 5-level default
+        // overprovisions TreeLing coverage 16× (the breadth-first policy
+        // trades off-chip metadata for shorter paths), so the ceilings here
+        // are proportionally wider while still "a few percent".
+        assert!(cost.offchip_nfl_fraction < 0.01, "{}", cost.offchip_nfl_fraction);
+        assert!(cost.tree_metadata_fraction < 0.05, "{}", cost.tree_metadata_fraction);
+    }
+
+    #[test]
+    fn rows_have_nonzero_storage() {
+        let cost = hardware_cost(&SystemConfig::default());
+        assert_eq!(cost.rows.len(), 3);
+        for r in &cost.rows {
+            assert!(r.storage_bytes > 0, "{}", r.component);
+            assert!(r.area_mm2 > 0.0, "{}", r.component);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Analytic models of the paper's scalability and cost studies.
+//!
+//! * [`starvation`] — TreeLing provisioning under skewed per-domain memory
+//!   footprints (§VI-D2, Figure 21);
+//! * [`scalability`] — Monte-Carlo success-rate comparison of static
+//!   integrity-tree partitioning vs IvLeague (§X-C, Figure 22);
+//! * [`hardware`] — on-chip storage/area accounting (§X-D, Table III).
+
+pub mod hardware;
+pub mod scalability;
+pub mod starvation;

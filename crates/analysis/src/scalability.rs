@@ -1,0 +1,191 @@
+//! Monte-Carlo success-rate comparison: static partitioning vs IvLeague
+//! (Figure 22).
+//!
+//! For a configuration (total memory `T`, `n` active domains, target
+//! utilization `u`) we draw random per-domain footprints with
+//! `Σ Mᵢ = u·T` (exponential weights, normalized — a high-variance,
+//! cloud-like distribution) and ask whether the scheme can host all
+//! domains without swapping:
+//!
+//! * **static partitioning**: `n` equal partitions of `T/n`; success iff
+//!   every `Mᵢ ≤ T/n`;
+//! * **IvLeague**: 4096 TreeLings of 64 MiB (the paper's configuration);
+//!   success iff `Σ ceil(Mᵢ / 64 MiB) ≤ 4096`.
+
+use ivl_sim_core::rng::Xoshiro256;
+
+/// Scheme under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// Equal static partitions, one per domain.
+    Static,
+    /// IvLeague with `treelings` TreeLings of `treeling_bytes` each.
+    IvLeague {
+        /// Provisioned TreeLings.
+        treelings: u64,
+        /// Coverage per TreeLing in bytes.
+        treeling_bytes: u64,
+    },
+}
+
+/// The paper's IvLeague configuration for this experiment.
+pub fn paper_ivleague() -> PartitionScheme {
+    PartitionScheme::IvLeague {
+        treelings: 4096,
+        treeling_bytes: 64 << 20,
+    }
+}
+
+/// Draws one random footprint vector with `sum = target_sum` (exponential
+/// weights → high variance across domains).
+fn random_footprints(rng: &mut Xoshiro256, domains: usize, target_sum: f64) -> Vec<f64> {
+    let mut weights: Vec<f64> = (0..domains)
+        .map(|_| -(1.0 - rng.next_f64()).ln())
+        .collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w = *w / total * target_sum;
+    }
+    weights
+}
+
+/// Estimates the success rate of `scheme` over `trials` random draws.
+///
+/// # Panics
+///
+/// Panics if `domains == 0`, `trials == 0`, or `utilization` outside
+/// `(0, 1]`.
+pub fn success_rate(
+    scheme: PartitionScheme,
+    memory_bytes: u64,
+    domains: usize,
+    utilization: f64,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    assert!(domains > 0 && trials > 0);
+    assert!(utilization > 0.0 && utilization <= 1.0);
+    let mut rng = Xoshiro256::seed_from(seed);
+    let target = memory_bytes as f64 * utilization;
+    let mut successes = 0u32;
+    for _ in 0..trials {
+        let footprints = random_footprints(&mut rng, domains, target);
+        let ok = match scheme {
+            PartitionScheme::Static => {
+                let partition = memory_bytes as f64 / domains as f64;
+                footprints.iter().all(|m| *m <= partition)
+            }
+            PartitionScheme::IvLeague {
+                treelings,
+                treeling_bytes,
+            } => {
+                let needed: u64 = footprints
+                    .iter()
+                    .map(|m| (m / treeling_bytes as f64).ceil() as u64)
+                    .sum();
+                needed <= treelings
+            }
+        };
+        if ok {
+            successes += 1;
+        }
+    }
+    successes as f64 / trials as f64
+}
+
+/// One point of the Figure 22 surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig22Point {
+    /// Total memory in GiB.
+    pub memory_gib: u64,
+    /// Active domains.
+    pub domains: usize,
+    /// Target utilization.
+    pub utilization: f64,
+    /// Success rate of static partitioning.
+    pub static_rate: f64,
+    /// Success rate of IvLeague.
+    pub ivleague_rate: f64,
+}
+
+/// Sweeps the Figure 22 surfaces (memory 8–256 GiB × domains 8–128 ×
+/// utilization 20–80%).
+pub fn fig22_sweep(trials: u32, seed: u64) -> Vec<Fig22Point> {
+    let memories = [8u64, 16, 32, 64, 128, 256];
+    let domains = [8usize, 16, 32, 64, 128];
+    let utils = [0.2, 0.4, 0.6, 0.8];
+    let mut out = Vec::new();
+    for &u in &utils {
+        for &m in &memories {
+            for &n in &domains {
+                let bytes = m << 30;
+                out.push(Fig22Point {
+                    memory_gib: m,
+                    domains: n,
+                    utilization: u,
+                    static_rate: success_rate(
+                        PartitionScheme::Static,
+                        bytes,
+                        n,
+                        u,
+                        trials,
+                        seed ^ (m * 131 + n as u64),
+                    ),
+                    ivleague_rate: success_rate(
+                        paper_ivleague(),
+                        bytes,
+                        n,
+                        u,
+                        trials,
+                        seed ^ (m * 733 + n as u64),
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn static_collapses_at_high_utilization_many_domains() {
+        let rate = success_rate(PartitionScheme::Static, 64 * GIB, 64, 0.8, 300, 1);
+        assert!(rate < 0.1, "static rate {rate}");
+    }
+
+    #[test]
+    fn static_is_fine_at_low_utilization() {
+        let rate = success_rate(PartitionScheme::Static, 64 * GIB, 8, 0.2, 300, 2);
+        assert!(rate > 0.5, "static rate {rate}");
+    }
+
+    #[test]
+    fn ivleague_stays_high_everywhere() {
+        for (m, n, u) in [(8u64, 8usize, 0.8), (64, 64, 0.8), (256, 128, 0.8)] {
+            let rate = success_rate(paper_ivleague(), m * GIB, n, u, 200, 3);
+            // 4096 × 64 MiB = 256 GiB coverage; per-domain ceil waste is at
+            // most one TreeLing per domain.
+            assert!(rate > 0.95, "ivleague rate {rate} at {m}GiB/{n}/{u}");
+        }
+    }
+
+    #[test]
+    fn footprints_sum_to_target() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let f = random_footprints(&mut rng, 32, 1000.0);
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1000.0).abs() < 1e-6);
+        assert!(f.iter().all(|m| *m >= 0.0));
+    }
+
+    #[test]
+    fn sweep_dimensions() {
+        let pts = fig22_sweep(10, 5);
+        assert_eq!(pts.len(), 4 * 6 * 5);
+    }
+}

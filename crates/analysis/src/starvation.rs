@@ -1,0 +1,144 @@
+//! TreeLing provisioning under skewed memory distributions (Figure 21).
+//!
+//! The paper models the TreeLings needed to cover the worst case as
+//! `#τ = (D − 1) + (M − (D − 1)·4KB) / S` (§VI-D2) and empirically sweeps
+//! the *skewness* `S = M_max / M_total` of per-domain footprints: one
+//! domain holds `S · M_total`, the rest is spread evenly over the remaining
+//! `D − 1` domains. Each domain with any memory needs at least one
+//! TreeLing, so past a certain TreeLing size the requirement flattens at
+//! the domain-count floor.
+
+/// The paper's worst-case provisioning formula `#τ = (D−1) + (M−(D−1)·4KB)/S`.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_analysis::starvation::worst_case_treelings;
+/// let t = worst_case_treelings(4096, 32 << 30, 64 << 20);
+/// assert!(t > 4096);
+/// ```
+pub fn worst_case_treelings(domains: u64, memory_bytes: u64, treeling_bytes: u64) -> u64 {
+    let page = 4096u64;
+    let rest = memory_bytes.saturating_sub((domains - 1) * page);
+    (domains - 1) + rest.div_ceil(treeling_bytes)
+}
+
+/// TreeLings required for a skewed distribution: one domain holds
+/// `skew · memory`, the rest is spread evenly across the remaining
+/// domains (zero-footprint domains need no TreeLing).
+///
+/// # Panics
+///
+/// Panics unless `0 < skew <= 1` and `domains >= 1`.
+pub fn treelings_required(
+    domains: u64,
+    memory_bytes: u64,
+    treeling_bytes: u64,
+    skew: f64,
+) -> u64 {
+    assert!(domains >= 1);
+    assert!(skew > 0.0 && skew <= 1.0, "skew in (0, 1]");
+    let big = (memory_bytes as f64 * skew) as u64;
+    let mut total = big.div_ceil(treeling_bytes).max(1);
+    if domains > 1 && skew < 1.0 {
+        let small_total = memory_bytes - big;
+        let per_small = small_total / (domains - 1);
+        let per_small_tl = if per_small == 0 {
+            0
+        } else {
+            per_small.div_ceil(treeling_bytes).max(1)
+        };
+        total += per_small_tl * (domains - 1);
+    }
+    total
+}
+
+/// One row of the Figure 21 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig21Point {
+    /// TreeLing size in bytes.
+    pub treeling_bytes: u64,
+    /// Skewness factor.
+    pub skew: f64,
+    /// TreeLings required.
+    pub required: u64,
+    /// The fully-utilized floor `memory / treeling_size` (the red dashed
+    /// line in the figure).
+    pub floor: u64,
+}
+
+/// Sweeps TreeLing sizes × skewness for one memory size (Figure 21a/21b).
+pub fn fig21_sweep(memory_bytes: u64, domains: u64) -> Vec<Fig21Point> {
+    let sizes_mib: [u64; 6] = [2, 8, 32, 128, 512, 2048];
+    let skews = [1.0, 0.5, 0.1];
+    let mut out = Vec::new();
+    for &mib in &sizes_mib {
+        let tl = mib * 1024 * 1024;
+        for &skew in &skews {
+            out.push(Fig21Point {
+                treeling_bytes: tl,
+                skew,
+                required: treelings_required(domains, memory_bytes, tl, skew),
+                floor: memory_bytes.div_ceil(tl),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+    const MIB: u64 = 1 << 20;
+
+    #[test]
+    fn requirement_decreases_with_treeling_size() {
+        let small = treelings_required(4096, 8 * GIB, 2 * MIB, 0.5);
+        let large = treelings_required(4096, 8 * GIB, 128 * MIB, 0.5);
+        assert!(small > large, "{small} vs {large}");
+    }
+
+    #[test]
+    fn flattens_at_domain_floor() {
+        // With huge TreeLings every non-empty domain still needs one.
+        let r = treelings_required(4096, 8 * GIB, 2048 * MIB, 0.1);
+        assert!(r >= 4096, "domain floor: {r}");
+        assert!(r <= 4097 + 2, "{r}");
+    }
+
+    #[test]
+    fn higher_skew_needs_fewer_treelings_at_large_sizes() {
+        // At large TreeLing sizes the per-small-domain minimum dominates;
+        // skew 1.0 concentrates memory in one domain → fewest TreeLings.
+        let s10 = treelings_required(4096, 32 * GIB, 512 * MIB, 1.0);
+        let s01 = treelings_required(4096, 32 * GIB, 512 * MIB, 0.1);
+        assert!(s10 < s01, "{s10} vs {s01}");
+    }
+
+    #[test]
+    fn full_skew_single_domain() {
+        let r = treelings_required(4096, 8 * GIB, 64 * MIB, 1.0);
+        assert_eq!(r, 128);
+    }
+
+    #[test]
+    fn worst_case_formula_matches_paper_shape() {
+        // S and #τ are inversely related at fixed D and M.
+        let a = worst_case_treelings(4096, 32 * GIB, 8 * MIB);
+        let b = worst_case_treelings(4096, 32 * GIB, 64 * MIB);
+        assert!(a > b);
+        assert!(b >= 4095);
+    }
+
+    #[test]
+    fn sweep_has_18_points_per_memory_size() {
+        let pts = fig21_sweep(8 * GIB, 4096);
+        assert_eq!(pts.len(), 18);
+        for p in &pts {
+            assert!(p.required >= 1);
+            assert!(p.floor >= 1);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the hot mechanisms of the reproduction.
+//!
+//! One group per subsystem that sits on the simulated critical path:
+//! cryptographic primitives, cache models, the DRAM timing model, the NFL
+//! state machine, forest page mapping, the integrity-scheme data-access
+//! paths, and the workload generator. `cargo bench --workspace` runs them
+//! all; each completes in seconds so the full suite stays fast.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ivl_cache::set_assoc::SetAssocCache;
+use ivl_cache::CacheModel;
+use ivl_crypto::aes::Aes128;
+use ivl_crypto::ctr::CtrEngine;
+use ivl_crypto::siphash::{siphash24, SipKey};
+use ivl_dram::DramModel;
+use ivl_secure_mem::baseline::GlobalBmtSubsystem;
+use ivl_secure_mem::functional::SecureMemory;
+use ivl_secure_mem::subsystem::IntegritySubsystem;
+use ivl_sim_core::addr::{BlockAddr, PageNum};
+use ivl_sim_core::config::{IvVariant, SystemConfig};
+use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::rng::Xoshiro256;
+use ivl_workloads::profiles::by_name;
+use ivl_workloads::trace::TraceGenerator;
+use ivleague::forest::{Forest, ForestConfig};
+use ivleague::nfl::Nfl;
+use ivleague::scheme::{AllocatorKind, IvLeagueSubsystem};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let aes = Aes128::new([7u8; 16]);
+    g.bench_function("aes128_encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box([0x5Au8; 16])))
+    });
+    let key = SipKey::from_bytes([3u8; 16]);
+    let msg = [0u8; 72];
+    g.bench_function("siphash24_72B", |b| b.iter(|| siphash24(key, black_box(&msg))));
+    let ctr = CtrEngine::new([9u8; 16]);
+    g.bench_function("ctr_encrypt_64B_block", |b| {
+        b.iter(|| {
+            let mut block = [0xA5u8; 64];
+            ctr.encrypt_block(black_box(0x1000), black_box(42), &mut block);
+            block
+        })
+    });
+    g.finish();
+}
+
+fn bench_functional_secure_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_secure_memory");
+    let mut mem = SecureMemory::new(1024, [1u8; 16], [2u8; 16], [3u8; 16]);
+    mem.write_block(BlockAddr::new(0), &[7u8; 64]).unwrap();
+    g.bench_function("verified_read_64B", |b| {
+        b.iter(|| mem.read_block(black_box(BlockAddr::new(0))).unwrap())
+    });
+    let mut i = 0u64;
+    g.bench_function("verified_write_64B", |b| {
+        b.iter(|| {
+            i += 1;
+            mem.write_block(BlockAddr::new(i % 1024), &[i as u8; 64])
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_caches_and_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_dram");
+    let mut cache = SetAssocCache::with_geometry(256 * 1024, 8, 64);
+    let mut rng = Xoshiro256::seed_from(1);
+    g.bench_function("set_assoc_access", |b| {
+        b.iter(|| cache.access(black_box(rng.next_below(1 << 20)), false))
+    });
+    let cfg = SystemConfig::default();
+    let mut dram = DramModel::new(&cfg.dram);
+    let mut now = 0u64;
+    g.bench_function("dram_access", |b| {
+        b.iter(|| {
+            now += 10;
+            dram.access(now, BlockAddr::new(rng.next_below(1 << 24)), false)
+        })
+    });
+    g.finish();
+}
+
+fn bench_nfl_and_forest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ivleague_mechanisms");
+    g.bench_function("nfl_alloc_free_pair", |b| {
+        let mut nfl = Nfl::new((0..512).collect(), 8, 8);
+        b.iter(|| {
+            let a = nfl.alloc().expect("capacity");
+            nfl.free(a.tag, a.slot)
+        })
+    });
+    for variant in IvVariant::ALL {
+        let mut forest = Forest::new(ForestConfig::small_for_tests(variant));
+        let d = DomainId::new_unchecked(0);
+        let mut page = 0u64;
+        g.bench_function(format!("forest_map_unmap_{variant:?}"), |b| {
+            b.iter(|| {
+                page += 1;
+                let p = PageNum::new(page);
+                forest.map_page(d, p).expect("capacity");
+                forest.unmap_page(d, p).expect("mapped")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheme_access_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheme_data_access");
+    let cfg = SystemConfig::default();
+    let d = DomainId::new_unchecked(1);
+
+    let mut dram = DramModel::new(&cfg.dram);
+    let mut baseline = GlobalBmtSubsystem::new(&cfg.secure, cfg.total_pages());
+    let mut now = 0u64;
+    let mut rng = Xoshiro256::seed_from(2);
+    g.bench_function("baseline_read", |b| {
+        b.iter(|| {
+            now += 100;
+            let blk = PageNum::new(rng.next_below(1 << 16)).block(0);
+            baseline.data_access(now, &mut dram, blk, d, false)
+        })
+    });
+
+    let mut dram2 = DramModel::new(&cfg.dram);
+    let mut iv = IvLeagueSubsystem::new(&cfg, IvVariant::Pro, AllocatorKind::Nfl);
+    let mut now2 = 0u64;
+    g.bench_function("ivleague_pro_read", |b| {
+        b.iter(|| {
+            now2 += 100;
+            let blk = PageNum::new(rng.next_below(1 << 16)).block(0);
+            iv.data_access(now2, &mut dram2, blk, d, false)
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    let profile = by_name("gcc").expect("profile");
+    let mut gen = TraceGenerator::new(profile, DomainId::new_unchecked(0), 0, 3);
+    g.bench_function("trace_next_event", |b| b.iter(|| gen.next_event()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_functional_secure_memory,
+    bench_caches_and_dram,
+    bench_nfl_and_forest,
+    bench_scheme_access_paths,
+    bench_workload_generator
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates every table and figure of the paper's evaluation in one run,
+//! sharing the heavy 16-mix × 4-scheme simulation matrix across Figures
+//! 15/16/18/19. Outputs land under `target/figures/`.
+
+use ivl_bench::{emit, perf, run_config, run_matrix};
+use ivl_simulator::SchemeKind;
+
+fn run_bin(name: &str) {
+    // Cheap experiments run in-process through their own binaries' logic
+    // would need code sharing; simplest robust route: spawn the sibling
+    // binary, which cargo placed next to this one.
+    let me = std::env::current_exe().expect("current exe");
+    let sibling = me.parent().expect("bin dir").join(name);
+    let status = std::process::Command::new(&sibling)
+        .args(std::env::args().skip(1))
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+    assert!(status.success(), "{name} failed");
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    for cheap in [
+        "table01_config",
+        "table02_workloads",
+        "table03_hardware",
+        "fig03_attack",
+        "fig21_treelings_required",
+        "fig22_scalability",
+    ] {
+        run_bin(cheap);
+    }
+
+    eprintln!("[running 16 mixes x 4 schemes]");
+    let results = run_matrix(&SchemeKind::MAIN, &run_config());
+    emit("fig15_weighted_ipc.txt", &perf::fig15(&results));
+    emit("fig16_path_length.txt", &perf::fig16(&results));
+    emit("fig18_nflb_hit_rate.txt", &perf::fig18(&results));
+    emit("fig19_memory_accesses.txt", &perf::fig19(&results));
+
+    for heavy in ["fig17_nfl", "fig20_sensitivity"] {
+        run_bin(heavy);
+    }
+    eprintln!("[all figures regenerated in {:?}]", t0.elapsed());
+}

@@ -1,0 +1,62 @@
+//! Calibration probe: runs representative mixes under the four main
+//! schemes and prints the normalized weighted IPC, path lengths, memory
+//! accesses and buffer hit rates — the quantities the paper's Figures
+//! 15/16/18/19 report — so the workload/timing parameters can be tuned.
+
+use ivl_bench::{find, run_config, run_matrix_on};
+use ivl_simulator::SchemeKind;
+use ivl_workloads::mixes::mix_by_name;
+
+fn main() {
+    let names: Vec<String> = {
+        let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--quick").collect();
+        if args.is_empty() {
+            vec!["S-1".into(), "M-1".into(), "L-1".into()]
+        } else {
+            args
+        }
+    };
+    let mixes: Vec<_> = names
+        .iter()
+        .map(|n| *mix_by_name(n).unwrap_or_else(|| panic!("unknown mix {n}")))
+        .collect();
+    let run = run_config();
+    let t0 = std::time::Instant::now();
+    let results = run_matrix_on(&mixes, &SchemeKind::MAIN, &run);
+    eprintln!("[{} runs in {:?}]", results.len(), t0.elapsed());
+
+    for mix in &mixes {
+        let base = find(&results, mix.name, SchemeKind::Baseline);
+        println!("\n=== {} (baseline wIPC {:.4}) ===", mix.name, base.weighted_ipc());
+        println!(
+            "{:<16} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>7} {:>6}",
+            "scheme", "normIPC", "path", "memacc", "ctr_hit", "tree_hit", "lmm_hit", "nflb_hit", "verifs", "promo", "missrate", "rdlat", "fail"
+        );
+        for scheme in SchemeKind::MAIN {
+            let r = find(&results, mix.name, scheme);
+            println!(
+                "{:<16} {:>8.4} {:>8.3} {:>8.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>8} {:>8} {:>9.3} {:>7.1} {:>6}",
+                scheme.label(),
+                r.weighted_ipc() / base.weighted_ipc(),
+                r.avg_path_length,
+                r.stats.total_mem_accesses() as f64 / base.stats.total_mem_accesses() as f64,
+                r.stats.counter_cache.hit_rate(),
+                r.stats.tree_cache.hit_rate(),
+                r.stats.lmm_cache.hit_rate(),
+                r.stats.nflb.hit_rate(),
+                r.stats.verifications,
+                r.stats.hot_migrations + r.stats.hot_demotions,
+                r.llc_miss_reads as f64 / r.core_accesses.max(1) as f64,
+                r.avg_read_latency(),
+                r.failed,
+            );
+            let fl = r.stats.fetches_by_level;
+            println!(
+                "{:<16} fetches/level: {:?} data_r {} data_w {} meta_r {} meta_w {} nfl_r {} nfl_w {} verifw? tree_acc {}",
+                "", fl, r.stats.data_reads, r.stats.data_writes, r.stats.meta_reads,
+                r.stats.meta_writes, r.stats.nfl_mem_reads, r.stats.nfl_mem_writes,
+                r.stats.tree_cache.total()
+            );
+        }
+    }
+}

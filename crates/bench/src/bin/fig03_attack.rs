@@ -1,0 +1,42 @@
+//! Figure 3 + Section IV: the metadata side-channel attack trace and
+//! RSA-exponent recovery accuracy, on the global tree and under IvLeague.
+
+use ivl_attack::{run_attack, AttackConfig, TargetScheme};
+use ivl_bench::{emit, quick_mode};
+
+fn main() {
+    let bits = if quick_mode() { 256 } else { 2048 };
+    let cfg = AttackConfig {
+        bits,
+        noise: 0.17,
+        seed: 0xA77AC4,
+    };
+    let leak = run_attack(TargetScheme::GlobalTree, &cfg);
+    let safe = run_attack(TargetScheme::IvLeague, &cfg);
+
+    let mut text = String::from(
+        "Figure 3: Attacker-observed reload latencies (first 26 exponent bits, global tree)\n",
+    );
+    text.push_str("bit  secret  P1a(sqr)lat  P2a(mul)lat  guess\n");
+    for s in leak.samples.iter().take(26) {
+        text.push_str(&format!(
+            "{:>3}  {:>6}  {:>11} {:>12}  {:>5}\n",
+            s.bit,
+            s.truth as u8,
+            s.p1_latency,
+            s.p2_latency,
+            s.guess as u8
+        ));
+    }
+    text.push_str(&format!(
+        "\ncalibrated threshold: {} cycles\n\
+         {}-bit RSA exponent recovery accuracy:\n\
+           global integrity tree (Baseline) : {:.1}%  (paper: 91.6%)\n\
+           IvLeague (isolated TreeLings)    : {:.1}%  (chance level)\n",
+        leak.threshold,
+        bits,
+        leak.accuracy * 100.0,
+        safe.accuracy * 100.0,
+    ));
+    emit("fig03_attack.txt", &text);
+}

@@ -1,0 +1,9 @@
+//! Figure 15: weighted IPC of the four schemes, normalized to Baseline.
+
+use ivl_bench::{emit, perf::fig15, run_config, run_matrix};
+use ivl_simulator::SchemeKind;
+
+fn main() {
+    let results = run_matrix(&SchemeKind::MAIN, &run_config());
+    emit("fig15_weighted_ipc.txt", &fig15(&results));
+}

@@ -1,0 +1,9 @@
+//! Figure 16: average integrity-verification path length.
+
+use ivl_bench::{emit, perf::fig16, run_config, run_matrix};
+use ivl_simulator::SchemeKind;
+
+fn main() {
+    let results = run_matrix(&SchemeKind::MAIN, &run_config());
+    emit("fig16_path_length.txt", &fig16(&results));
+}

@@ -1,0 +1,9 @@
+//! Figure 18: NFLB hit rate for all workloads.
+
+use ivl_bench::{emit, perf::fig18, run_config, run_matrix};
+use ivl_simulator::SchemeKind;
+
+fn main() {
+    let results = run_matrix(&SchemeKind::MAIN, &run_config());
+    emit("fig18_nflb_hit_rate.txt", &fig18(&results));
+}

@@ -1,0 +1,9 @@
+//! Figure 19: additional memory accesses due to IvLeague operations.
+
+use ivl_bench::{emit, perf::fig19, run_config, run_matrix};
+use ivl_simulator::SchemeKind;
+
+fn main() {
+    let results = run_matrix(&SchemeKind::MAIN, &run_config());
+    emit("fig19_memory_accesses.txt", &fig19(&results));
+}

@@ -1,0 +1,87 @@
+//! Figure 20: sensitivity to TreeLing size (20a) and integrity-tree
+//! metadata cache size (20b). One representative mix per class; IPC
+//! normalized to IvLeague-Basic at the default configuration, as in the
+//! paper.
+
+use ivl_bench::{emit, find, run_config, run_matrix_on};
+use ivl_simulator::{run_mix_with_config, SchemeKind};
+use ivl_sim_core::config::SystemConfig;
+use ivl_sim_core::stats::gmean;
+use ivl_workloads::mixes::mix_by_name;
+
+const SCHEMES: [SchemeKind; 3] = [
+    SchemeKind::IvBasic,
+    SchemeKind::IvInvert,
+    SchemeKind::IvPro,
+];
+
+fn main() {
+    let run = run_config();
+    let mixes = [
+        *mix_by_name("S-1").unwrap(),
+        *mix_by_name("M-1").unwrap(),
+        *mix_by_name("L-1").unwrap(),
+    ];
+
+    // Reference: IvLeague-Basic at defaults.
+    let reference = run_matrix_on(&mixes, &[SchemeKind::IvBasic], &run);
+    let ref_ipc: Vec<f64> = mixes
+        .iter()
+        .map(|m| find(&reference, m.name, SchemeKind::IvBasic).weighted_ipc())
+        .collect();
+
+    let mut text = String::from(
+        "Figure 20a: IPC vs TreeLing size (normalized to IvLeague-Basic at the default)\n",
+    );
+    // Intra-TreeLing level sweep; coverage = 8^levels pages. The paper's
+    // 8/64/512 MB labels correspond to three/four/five intra-TreeLing
+    // levels; our geometry note (DESIGN.md) maps levels 4/5/6.
+    text.push_str(&format!(
+        "{:<22} {:>16} {:>16} {:>14}\n",
+        "TreeLing", "IvLeague-Basic", "IvLeague-Invert", "IvLeague-Pro"
+    ));
+    for (levels, label) in [(4usize, "16MiB(\"8MB\")"), (5, "128MiB(\"64MB\")"), (6, "1GiB(\"512MB\")")] {
+        let mut cfg = SystemConfig::default();
+        cfg.ivleague.treeling_levels = levels;
+        cfg.ivleague.treeling_count = match levels {
+            4 => 8192,
+            5 => 4096,
+            _ => 512,
+        };
+        let mut row = format!("{label:<22}");
+        for scheme in SCHEMES {
+            let mut vals = Vec::new();
+            for (mi, m) in mixes.iter().enumerate() {
+                let r = run_mix_with_config(m, scheme, &run, &cfg);
+                vals.push(r.weighted_ipc() / ref_ipc[mi]);
+            }
+            row.push_str(&format!(" {:>15.3}", gmean(&vals)));
+        }
+        text.push_str(&row);
+        text.push('\n');
+    }
+
+    text.push_str(
+        "\nFigure 20b: IPC vs integrity-tree metadata cache size (normalized as above)\n",
+    );
+    text.push_str(&format!(
+        "{:<22} {:>16} {:>16} {:>14}\n",
+        "tree cache", "IvLeague-Basic", "IvLeague-Invert", "IvLeague-Pro"
+    ));
+    for kib in [64usize, 128, 256, 512, 1024] {
+        let mut cfg = SystemConfig::default();
+        cfg.secure.tree_cache.capacity_bytes = kib * 1024;
+        let mut row = format!("{:<22}", format!("{kib}KiB"));
+        for scheme in SCHEMES {
+            let mut vals = Vec::new();
+            for (mi, m) in mixes.iter().enumerate() {
+                let r = run_mix_with_config(m, scheme, &run, &cfg);
+                vals.push(r.weighted_ipc() / ref_ipc[mi]);
+            }
+            row.push_str(&format!(" {:>15.3}", gmean(&vals)));
+        }
+        text.push_str(&row);
+        text.push('\n');
+    }
+    emit("fig20_sensitivity.txt", &text);
+}

@@ -1,0 +1,30 @@
+//! Figure 21: TreeLings required under skewed memory distributions.
+
+use ivl_analysis::starvation::fig21_sweep;
+use ivl_bench::emit;
+
+fn main() {
+    let mut text = String::from(
+        "Figure 21: TreeLings required vs TreeLing size and skewness (D = 4096 domains)\n",
+    );
+    for (mem_gib, label) in [(8u64, "a"), (32, "b")] {
+        text.push_str(&format!("\n(21{label}) system memory: {mem_gib} GiB\n"));
+        text.push_str(&format!(
+            "{:<12} {:>14} {:>14} {:>14} {:>12}\n",
+            "TreeLing", "skew 1.0", "skew 0.5", "skew 0.1", "floor"
+        ));
+        let pts = fig21_sweep(mem_gib << 30, 4096);
+        for chunk in pts.chunks(3) {
+            let tl_mib = chunk[0].treeling_bytes >> 20;
+            text.push_str(&format!(
+                "{:<12} {:>14} {:>14} {:>14} {:>12}\n",
+                format!("{tl_mib}MiB"),
+                chunk[0].required,
+                chunk[1].required,
+                chunk[2].required,
+                chunk[0].floor
+            ));
+        }
+    }
+    emit("fig21_treelings_required.txt", &text);
+}

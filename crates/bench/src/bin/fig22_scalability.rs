@@ -1,0 +1,34 @@
+//! Figure 22: success-rate comparison of static partitioning vs IvLeague.
+
+use ivl_analysis::scalability::fig22_sweep;
+use ivl_bench::{emit, quick_mode};
+
+fn main() {
+    let trials = if quick_mode() { 50 } else { 500 };
+    let pts = fig22_sweep(trials, 2024);
+    let mut text = String::from(
+        "Figure 22: Success rate without memory swapping (static partitioning vs IvLeague)\n",
+    );
+    let mut last_util = -1.0;
+    for p in &pts {
+        if (p.utilization - last_util).abs() > 1e-9 {
+            last_util = p.utilization;
+            text.push_str(&format!(
+                "\n-- utilization {:.0}% --\n{:<10} {:>8} {:>12} {:>12}\n",
+                p.utilization * 100.0,
+                "memory",
+                "domains",
+                "static",
+                "IvLeague"
+            ));
+        }
+        text.push_str(&format!(
+            "{:<10} {:>8} {:>11.1}% {:>11.1}%\n",
+            format!("{}GiB", p.memory_gib),
+            p.domains,
+            p.static_rate * 100.0,
+            p.ivleague_rate * 100.0
+        ));
+    }
+    emit("fig22_scalability.txt", &text);
+}

@@ -1,0 +1,45 @@
+//! Table I: architecture configuration.
+
+use ivl_bench::emit;
+use ivl_sim_core::config::SystemConfig;
+
+fn main() {
+    let c = SystemConfig::default();
+    let geometry = ivleague::geometry::TreeLingGeometry::new(
+        c.secure.tree_arity as u32,
+        c.ivleague.treeling_levels as u32,
+    );
+    let text = format!(
+        "Table I: Architecture configuration\n\
+         Processor            : {} OoO x86 cores\n\
+         L1 / L2 cache        : private {} KiB {}-way / private {} KiB {}-way\n\
+         L3 cache             : shared {} MiB {}-way, {}-cycle hit, randomized (MIRAGE-style)\n\
+         Crypto engine        : {}-cycle AES, {}-cycle keyed hash\n\
+         Main memory          : {} GiB, {} channels, {} ranks/channel, {} banks/rank\n\
+         Enc. counter         : 64-bit major + 7-bit minor (split)\n\
+         MAC                  : {} bytes per 64 B block\n\
+         Integrity tree       : {}-ary Bonsai Merkle Tree\n\
+         Metadata caches      : {} KiB counter + {} KiB tree, {}-way\n\
+         IvLeague LMM cache   : {} entries, {}-way\n\
+         IvLeague NFLB        : {} entries per domain\n\
+         TreeLing             : {} levels, {} pages ({} MiB) coverage; {} TreeLings\n\
+         Hotpage tracker      : {} entries, {}-bit counters, threshold {}\n",
+        c.core.cores,
+        c.core.l1.capacity_bytes / 1024, c.core.l1.ways,
+        c.core.l2.capacity_bytes / 1024, c.core.l2.ways,
+        c.llc.cache.capacity_bytes / (1024 * 1024), c.llc.cache.ways, c.llc.cache.hit_latency,
+        c.secure.aes_latency, c.secure.hash_latency,
+        c.dram.capacity_bytes >> 30, c.dram.channels, c.dram.ranks_per_channel, c.dram.banks_per_rank,
+        c.secure.mac_bytes,
+        c.secure.tree_arity,
+        c.secure.counter_cache.capacity_bytes / 1024,
+        c.secure.tree_cache.capacity_bytes / 1024,
+        c.secure.tree_cache.ways,
+        c.ivleague.lmm_cache_entries, c.ivleague.lmm_cache_ways,
+        c.ivleague.nflb_entries_per_domain,
+        c.ivleague.treeling_levels, geometry.leaf_capacity(),
+        geometry.coverage_bytes() >> 20, c.ivleague.treeling_count,
+        c.ivleague.tracker_entries, c.ivleague.tracker_counter_bits, c.ivleague.hot_threshold,
+    );
+    emit("table01_config.txt", &text);
+}

@@ -1,0 +1,18 @@
+//! Table II: the 16 multi-programmed mixes.
+
+use ivl_bench::emit;
+use ivl_workloads::mixes::MIXES;
+
+fn main() {
+    let mut text = String::from("Table II: Multi-programmed workloads\n");
+    for m in MIXES.iter() {
+        text.push_str(&format!(
+            "{:<5} [{:<6}] {:<32} total footprint {:>5} MiB (scaled /8)\n",
+            m.name,
+            format!("{:?}", m.class),
+            m.benchmarks.join("-"),
+            m.total_footprint_mib(),
+        ));
+    }
+    emit("table02_workloads.txt", &text);
+}

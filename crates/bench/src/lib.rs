@@ -1,0 +1,135 @@
+//! Figure/table regeneration harness.
+//!
+//! One binary per table and figure of the paper's evaluation (see
+//! DESIGN.md's experiment index); each prints the rows/series the paper
+//! reports and writes the same text under `target/figures/`. The heavy
+//! simulations (Figures 15/16/18/19 share the same 16 mixes × 4 schemes
+//! runs) execute in parallel across mixes with crossbeam scoped threads.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use ivl_simulator::{run_mix, MixResult, RunConfig, SchemeKind};
+use ivl_workloads::mixes::{Mix, MIXES};
+use parking_lot::Mutex;
+
+/// Where figure text outputs land.
+pub mod perf;
+
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/figures");
+    std::fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+/// Prints `content` to stdout and mirrors it into `target/figures/<name>`.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let path = figures_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create figure file");
+    f.write_all(content.as_bytes()).expect("write figure file");
+    eprintln!("[saved {}]", path.display());
+}
+
+/// Whether quick mode was requested (`IVL_QUICK=1` or `--quick`): shorter
+/// runs for smoke-testing the harness.
+pub fn quick_mode() -> bool {
+    std::env::var("IVL_QUICK").map(|v| v == "1").unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// The run configuration honoring quick mode.
+pub fn run_config() -> RunConfig {
+    if quick_mode() {
+        RunConfig {
+            warmup_accesses: 5_000,
+            measure_accesses: 30_000,
+            seed: 2024,
+        }
+    } else {
+        RunConfig::evaluation()
+    }
+}
+
+/// Runs every mix under every scheme in `schemes`, in parallel across
+/// (mix, scheme) pairs. Results are ordered (mix-major, scheme-minor).
+pub fn run_matrix(schemes: &[SchemeKind], run: &RunConfig) -> Vec<MixResult> {
+    run_matrix_on(&MIXES, schemes, run)
+}
+
+/// Runs a selected set of mixes under every scheme in `schemes`.
+pub fn run_matrix_on(mixes: &[Mix], schemes: &[SchemeKind], run: &RunConfig) -> Vec<MixResult> {
+    let jobs: Vec<(usize, &Mix, SchemeKind)> = mixes
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, m)| {
+            schemes
+                .iter()
+                .enumerate()
+                .map(move |(si, s)| (mi * schemes.len() + si, m, *s))
+        })
+        .collect();
+    let results: Mutex<Vec<Option<MixResult>>> = Mutex::new(vec![None; jobs.len()]);
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (slot, mix, scheme) = jobs[i];
+                let r = run_mix(mix, scheme, run);
+                results.lock()[slot] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+/// Finds the result for (mix, scheme) in a `run_matrix` output.
+pub fn find<'a>(results: &'a [MixResult], mix: &str, scheme: SchemeKind) -> &'a MixResult {
+    results
+        .iter()
+        .find(|r| r.mix == mix && r.scheme == scheme)
+        .unwrap_or_else(|| panic!("missing result for {mix}/{scheme:?}"))
+}
+
+/// Formats a ratio table row with fixed-width columns.
+pub fn row(label: &str, values: &[f64]) -> String {
+    let mut s = format!("{label:<10}");
+    for v in values {
+        s.push_str(&format!(" {v:>8.3}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_runs_in_quick_shape() {
+        let run = RunConfig::smoke_test();
+        let mixes = [*ivl_workloads::mixes::mix_by_name("S-1").unwrap()];
+        let results = run_matrix_on(&mixes, &[SchemeKind::Baseline, SchemeKind::IvPro], &run);
+        assert_eq!(results.len(), 2);
+        assert_eq!(find(&results, "S-1", SchemeKind::IvPro).scheme, SchemeKind::IvPro);
+    }
+
+    #[test]
+    fn row_formats() {
+        let s = row("S-1", &[1.0, 0.5]);
+        assert!(s.contains("S-1") && s.contains("1.000") && s.contains("0.500"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Formatters for the performance figures (15, 16, 18, 19) that share the
+//! 16-mix × 4-scheme simulation matrix.
+
+use ivl_simulator::{MixResult, SchemeKind};
+use ivl_sim_core::stats::gmean;
+use ivl_workloads::mixes::{MixClass, MIXES};
+use ivl_workloads::profiles::BENCHMARKS;
+
+use crate::find;
+
+/// Mix names grouped by class, in Table II order.
+pub fn mixes_of(class: MixClass) -> Vec<&'static str> {
+    MIXES
+        .iter()
+        .filter(|m| m.class == class)
+        .map(|m| m.name)
+        .collect()
+}
+
+/// Figure 15: weighted IPC normalized to Baseline, per mix plus per-class
+/// geometric means.
+pub fn fig15(results: &[MixResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 15: Weighted IPC normalized to Baseline\n");
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>16} {:>16} {:>14}\n",
+        "mix", "Baseline", "IvLeague-Basic", "IvLeague-Invert", "IvLeague-Pro"
+    ));
+    for class in [MixClass::Small, MixClass::Medium, MixClass::Large] {
+        let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for mix in mixes_of(class) {
+            let base = find(results, mix, SchemeKind::Baseline).weighted_ipc();
+            let mut row = format!("{mix:<8}");
+            for (si, scheme) in SchemeKind::MAIN.iter().enumerate() {
+                let v = find(results, mix, *scheme).weighted_ipc() / base;
+                per_scheme[si].push(v);
+                row.push_str(&format!(" {v:>15.3}"));
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        let mut row = format!("gmean{:<3}", class.prefix());
+        for vals in &per_scheme {
+            row.push_str(&format!(" {:>15.3}", gmean(vals)));
+        }
+        out.push_str(&row);
+        out.push_str("\n\n");
+    }
+    out
+}
+
+/// Figure 16: average integrity-verification path length. The simulator
+/// measures path length per mix (the metadata caches are shared, so a
+/// per-benchmark split is approximated by averaging over the mixes that
+/// contain each benchmark).
+pub fn fig16(results: &[MixResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 16: Average integrity-verification path length\n");
+    out.push_str("-- per mix --\n");
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>16} {:>16} {:>14}\n",
+        "mix", "Baseline", "IvLeague-Basic", "IvLeague-Invert", "IvLeague-Pro"
+    ));
+    for mix in MIXES.iter() {
+        let mut row = format!("{:<8}", mix.name);
+        for scheme in SchemeKind::MAIN {
+            row.push_str(&format!(
+                " {:>15.3}",
+                find(results, mix.name, scheme).avg_path_length
+            ));
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out.push_str("\n-- per benchmark (mean over containing mixes) --\n");
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>16} {:>16} {:>14}\n",
+        "bench", "Baseline", "IvLeague-Basic", "IvLeague-Invert", "IvLeague-Pro"
+    ));
+    for b in BENCHMARKS.iter() {
+        let containing: Vec<&str> = MIXES
+            .iter()
+            .filter(|m| m.benchmarks.contains(&b.name))
+            .map(|m| m.name)
+            .collect();
+        if containing.is_empty() {
+            continue;
+        }
+        let mut row = format!("{:<8}", b.name);
+        for scheme in SchemeKind::MAIN {
+            let mean: f64 = containing
+                .iter()
+                .map(|m| find(results, m, scheme).avg_path_length)
+                .sum::<f64>()
+                / containing.len() as f64;
+            row.push_str(&format!(" {mean:>15.3}"));
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 18: NFLB hit rate per mix for the three IvLeague schemes.
+pub fn fig18(results: &[MixResult]) -> String {
+    let schemes = [SchemeKind::IvBasic, SchemeKind::IvInvert, SchemeKind::IvPro];
+    let mut out = String::new();
+    out.push_str("Figure 18: NFL buffer (NFLB) hit rate\n");
+    out.push_str(&format!(
+        "{:<8} {:>16} {:>16} {:>14}\n",
+        "mix", "IvLeague-Basic", "IvLeague-Invert", "IvLeague-Pro"
+    ));
+    for class in [MixClass::Small, MixClass::Medium, MixClass::Large] {
+        let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        for mix in mixes_of(class) {
+            let mut row = format!("{mix:<8}");
+            for (si, scheme) in schemes.iter().enumerate() {
+                let v = find(results, mix, *scheme).stats.nflb.hit_rate();
+                per_scheme[si].push(v);
+                row.push_str(&format!(" {:>15.1}%", v * 100.0));
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        let mut row = format!("gmean{:<3}", class.prefix());
+        for vals in &per_scheme {
+            row.push_str(&format!(" {:>15.1}%", gmean(vals) * 100.0));
+        }
+        out.push_str(&row);
+        out.push_str("\n\n");
+    }
+    out
+}
+
+/// Figure 19: total memory accesses normalized to Baseline.
+pub fn fig19(results: &[MixResult]) -> String {
+    let schemes = [SchemeKind::IvBasic, SchemeKind::IvInvert, SchemeKind::IvPro];
+    let mut out = String::new();
+    out.push_str("Figure 19: Total memory accesses (normalized to Baseline)\n");
+    out.push_str(&format!(
+        "{:<8} {:>16} {:>16} {:>14}\n",
+        "mix", "IvLeague-Basic", "IvLeague-Invert", "IvLeague-Pro"
+    ));
+    for mix in MIXES.iter() {
+        let base = find(results, mix.name, SchemeKind::Baseline)
+            .stats
+            .total_mem_accesses() as f64;
+        let mut row = format!("{:<8}", mix.name);
+        for scheme in schemes {
+            let v = find(results, mix.name, scheme).stats.total_mem_accesses() as f64 / base;
+            row.push_str(&format!(" {:>14.1}%", v * 100.0));
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}

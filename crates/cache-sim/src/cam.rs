@@ -1,0 +1,178 @@
+//! Small fully-associative content-addressable buffers.
+//!
+//! IvLeague keeps a per-domain on-chip **NFL buffer (NFLB)** caching the most
+//! recently used in-memory NFL blocks (paper Section VI-C1, Table I: two
+//! entries per domain). [`CamBuffer`] models such structures: a handful of
+//! entries, full associativity, LRU replacement, and an attached payload.
+
+use std::collections::VecDeque;
+
+/// A tiny fully-associative LRU buffer mapping `u64` tags to payloads.
+///
+/// The front of the internal queue is the most recently used entry.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_cache::cam::CamBuffer;
+/// let mut b: CamBuffer<&str> = CamBuffer::new(2);
+/// b.insert(1, "one");
+/// b.insert(2, "two");
+/// b.insert(3, "three"); // evicts tag 1 (LRU)
+/// assert!(b.get(1).is_none());
+/// assert_eq!(*b.get(3).unwrap(), "three");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CamBuffer<T> {
+    capacity: usize,
+    entries: VecDeque<(u64, T)>,
+}
+
+impl<T> CamBuffer<T> {
+    /// Creates a buffer holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CAM buffer needs at least one entry");
+        CamBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Looks up `tag`, refreshing its recency on a hit.
+    pub fn get(&mut self, tag: u64) -> Option<&mut T> {
+        let pos = self.entries.iter().position(|(t, _)| *t == tag)?;
+        // Move to front (MRU).
+        let entry = self.entries.remove(pos).expect("position just found");
+        self.entries.push_front(entry);
+        self.entries.front_mut().map(|(_, v)| v)
+    }
+
+    /// Checks residency without updating recency.
+    pub fn contains(&self, tag: u64) -> bool {
+        self.entries.iter().any(|(t, _)| *t == tag)
+    }
+
+    /// Inserts (or replaces) `tag`, returning the evicted LRU entry if the
+    /// buffer was full.
+    pub fn insert(&mut self, tag: u64, value: T) -> Option<(u64, T)> {
+        if let Some(pos) = self.entries.iter().position(|(t, _)| *t == tag) {
+            self.entries.remove(pos);
+        }
+        self.entries.push_front((tag, value));
+        if self.entries.len() > self.capacity {
+            self.entries.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// Removes `tag`, returning its payload.
+    pub fn remove(&mut self, tag: u64) -> Option<T> {
+        let pos = self.entries.iter().position(|(t, _)| *t == tag)?;
+        self.entries.remove(pos).map(|(_, v)| v)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over `(tag, payload)` pairs in MRU→LRU order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &T)> {
+        self.entries.iter().map(|(t, v)| (t, v))
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction() {
+        let mut b = CamBuffer::new(2);
+        b.insert(1, 'a');
+        b.insert(2, 'b');
+        b.get(1); // refresh 1; 2 becomes LRU
+        let evicted = b.insert(3, 'c');
+        assert_eq!(evicted, Some((2, 'b')));
+        assert!(b.contains(1) && b.contains(3));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_evicting() {
+        let mut b = CamBuffer::new(2);
+        b.insert(1, 10);
+        b.insert(2, 20);
+        assert_eq!(b.insert(1, 11), None);
+        assert_eq!(*b.get(1).unwrap(), 11);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut b = CamBuffer::new(3);
+        b.insert(5, ());
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.remove(5), Some(()));
+        assert!(b.is_empty());
+        assert_eq!(b.remove(5), None);
+    }
+
+    #[test]
+    fn get_mutates_payload() {
+        let mut b = CamBuffer::new(1);
+        b.insert(7, vec![1]);
+        b.get(7).unwrap().push(2);
+        assert_eq!(b.get(7).unwrap().as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut b = CamBuffer::new(2);
+        b.insert(1, ());
+        b.insert(2, ());
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 2);
+        assert!(!b.contains(1));
+    }
+
+    #[test]
+    fn contains_does_not_refresh_recency() {
+        let mut b = CamBuffer::new(2);
+        b.insert(1, ());
+        b.insert(2, ());
+        assert!(b.contains(1)); // must NOT refresh
+        let evicted = b.insert(3, ());
+        assert_eq!(evicted.map(|(t, _)| t), Some(1));
+    }
+
+    #[test]
+    fn iter_is_mru_first() {
+        let mut b = CamBuffer::new(3);
+        b.insert(1, ());
+        b.insert(2, ());
+        b.get(1);
+        let order: Vec<u64> = b.iter().map(|(t, _)| *t).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Cache models for the IvLeague reproduction.
+//!
+//! Three structures cover every on-chip buffer in the paper:
+//!
+//! * [`set_assoc::SetAssocCache`] — classical set-associative cache with LRU
+//!   replacement, dirty bits, and per-line **locking** (used to pin TreeLing
+//!   roots into the IV metadata cache, Section VI-B);
+//! * [`randomized::RandomizedCache`] — a MIRAGE-style randomized skewed
+//!   cache used by the baseline's side-channel-hardened LLC and metadata
+//!   caches (Section IX);
+//! * [`cam::CamBuffer`] — a small fully-associative LRU buffer used for the
+//!   on-chip NFL buffer (NFLB) and similar CAM structures.
+//!
+//! All models speak `u64` keys (block addresses or metadata identifiers) and
+//! implement the common [`CacheModel`] trait so the memory-controller models
+//! can switch between classical and randomized organizations.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivl_cache::{CacheModel, set_assoc::SetAssocCache};
+//!
+//! let mut c = SetAssocCache::new(4, 2); // 4 sets, 2 ways
+//! assert!(!c.access(0x10, false).hit);
+//! assert!(c.access(0x10, false).hit);
+//! ```
+
+pub mod cam;
+pub mod randomized;
+pub mod set_assoc;
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Key of the victim line.
+    pub key: u64,
+    /// Whether the victim was dirty (requires a write-back).
+    pub dirty: bool,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Victim evicted to make room for the fill (misses only).
+    pub evicted: Option<Evicted>,
+    /// The access bypassed the cache (no fill happened — e.g. every way of
+    /// the target set is locked).
+    pub bypassed: bool,
+}
+
+/// Common interface of all cache organizations in this crate.
+pub trait CacheModel {
+    /// Performs an access: on a hit, updates recency (and dirtiness for a
+    /// write); on a miss, fills the line, possibly evicting a victim.
+    fn access(&mut self, key: u64, is_write: bool) -> AccessOutcome;
+
+    /// Checks residency without updating any replacement state.
+    fn probe(&self, key: u64) -> bool;
+
+    /// Removes a line if present, returning whether it was dirty.
+    fn invalidate(&mut self, key: u64) -> Option<bool>;
+
+    /// Number of currently valid lines.
+    fn occupancy(&self) -> usize;
+}

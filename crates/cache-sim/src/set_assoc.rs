@@ -1,0 +1,364 @@
+//! Set-associative cache with LRU replacement and line locking.
+//!
+//! Line locking models IvLeague's way-partition reservation that pins all
+//! TreeLing roots in the IV metadata cache (paper Sections VI-B and X-D):
+//! locked lines always hit and are never chosen as victims. If every way of
+//! a set is locked, fills for other keys bypass the cache.
+
+use crate::{AccessOutcome, CacheModel, Evicted};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    key: u64,
+    valid: bool,
+    dirty: bool,
+    locked: bool,
+    /// Monotonic recency stamp; larger = more recently used.
+    lru: u64,
+}
+
+const EMPTY: Line = Line {
+    key: 0,
+    valid: false,
+    dirty: false,
+    locked: false,
+    lru: 0,
+};
+
+/// A set-associative LRU cache over `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_cache::{CacheModel, set_assoc::SetAssocCache};
+/// let mut c = SetAssocCache::new(2, 2);
+/// c.access(0, true); // fill dirty
+/// c.access(2, false);
+/// c.access(4, false); // evicts key 0 (same set, LRU) → dirty victim
+/// assert!(!c.probe(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    clock: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either parameter is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be positive");
+        SetAssocCache {
+            sets,
+            ways,
+            lines: vec![EMPTY; sets * ways],
+            clock: 0,
+        }
+    }
+
+    /// Creates a cache from a capacity/associativity/line-size geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`new`](Self::new)).
+    pub fn with_geometry(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        let lines = capacity_bytes / line_bytes;
+        assert!(lines % ways == 0, "capacity must divide into ways");
+        Self::new(lines / ways, ways)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn set_index(&self, key: u64) -> usize {
+        (key as usize) & (self.sets - 1)
+    }
+
+    fn set_lines(&mut self, set: usize) -> &mut [Line] {
+        &mut self.lines[set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// Inserts `key` and pins it: it will never be evicted (and `access` to
+    /// it always hits). Returns `false` if every way of the set is already
+    /// locked by other keys, in which case nothing changes.
+    pub fn lock(&mut self, key: u64) -> bool {
+        let set = self.set_index(key);
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.set_lines(set);
+        // Already resident: pin in place.
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.key == key) {
+            line.locked = true;
+            line.lru = clock;
+            return true;
+        }
+        // Prefer an invalid way, then an unlocked victim (LRU).
+        let slot = match ways.iter().position(|l| !l.valid) {
+            Some(i) => Some(i),
+            None => ways
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.locked)
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i),
+        };
+        match slot {
+            Some(i) => {
+                ways[i] = Line {
+                    key,
+                    valid: true,
+                    dirty: false,
+                    locked: true,
+                    lru: clock,
+                };
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unpins a locked line (leaves it resident).
+    pub fn unlock(&mut self, key: u64) {
+        let set = self.set_index(key);
+        if let Some(line) = self
+            .set_lines(set)
+            .iter_mut()
+            .find(|l| l.valid && l.key == key)
+        {
+            line.locked = false;
+        }
+    }
+
+    /// Number of locked lines.
+    pub fn locked_count(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid && l.locked).count()
+    }
+
+    /// Evicts the least-recently-used unlocked line of the set containing
+    /// `key` (used by attack models that perform targeted metadata
+    /// eviction). Returns the victim if one existed.
+    pub fn evict_lru_in_set_of(&mut self, key: u64) -> Option<Evicted> {
+        let set = self.set_index(key);
+        let ways = self.set_lines(set);
+        let victim = ways
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.valid && !l.locked)
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i)?;
+        let line = ways[victim];
+        ways[victim] = EMPTY;
+        Some(Evicted {
+            key: line.key,
+            dirty: line.dirty,
+        })
+    }
+}
+
+impl CacheModel for SetAssocCache {
+    fn access(&mut self, key: u64, is_write: bool) -> AccessOutcome {
+        let set = self.set_index(key);
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.set_lines(set);
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.key == key) {
+            line.lru = clock;
+            line.dirty |= is_write;
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+                bypassed: false,
+            };
+        }
+
+        // Miss: fill. Prefer an invalid way; otherwise evict LRU unlocked.
+        if let Some(i) = ways.iter().position(|l| !l.valid) {
+            ways[i] = Line {
+                key,
+                valid: true,
+                dirty: is_write,
+                locked: false,
+                lru: clock,
+            };
+            return AccessOutcome {
+                hit: false,
+                evicted: None,
+                bypassed: false,
+            };
+        }
+        let victim = ways
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.locked)
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let old = ways[i];
+                ways[i] = Line {
+                    key,
+                    valid: true,
+                    dirty: is_write,
+                    locked: false,
+                    lru: clock,
+                };
+                AccessOutcome {
+                    hit: false,
+                    evicted: Some(Evicted {
+                        key: old.key,
+                        dirty: old.dirty,
+                    }),
+                    bypassed: false,
+                }
+            }
+            None => AccessOutcome {
+                hit: false,
+                evicted: None,
+                bypassed: true,
+            },
+        }
+    }
+
+    fn probe(&self, key: u64) -> bool {
+        let set = self.set_index(key);
+        self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|l| l.valid && l.key == key)
+    }
+
+    fn invalidate(&mut self, key: u64) -> Option<bool> {
+        let set = self.set_index(key);
+        let ways = self.set_lines(set);
+        for line in ways.iter_mut() {
+            if line.valid && line.key == key {
+                let dirty = line.dirty;
+                *line = EMPTY;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(!c.access(5, false).hit);
+        assert!(c.access(5, false).hit);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.access(1, false);
+        c.access(2, false);
+        c.access(1, false); // 2 is now LRU
+        let out = c.access(3, false);
+        assert_eq!(out.evicted.map(|e| e.key), Some(2));
+        assert!(c.probe(1) && c.probe(3) && !c.probe(2));
+    }
+
+    #[test]
+    fn dirty_victims_reported() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.access(1, true);
+        let out = c.access(2, false);
+        assert_eq!(
+            out.evicted,
+            Some(Evicted {
+                key: 1,
+                dirty: true
+            })
+        );
+    }
+
+    #[test]
+    fn locked_lines_survive_pressure() {
+        let mut c = SetAssocCache::new(1, 2);
+        assert!(c.lock(100));
+        for k in 0..50u64 {
+            c.access(k, false);
+        }
+        assert!(c.probe(100));
+        assert!(c.access(100, false).hit);
+    }
+
+    #[test]
+    fn fully_locked_set_bypasses() {
+        let mut c = SetAssocCache::new(1, 2);
+        assert!(c.lock(1));
+        assert!(c.lock(2));
+        assert!(!c.lock(3), "no unlocked way left");
+        let out = c.access(7, false);
+        assert!(out.bypassed);
+        assert!(!c.probe(7));
+    }
+
+    #[test]
+    fn unlock_restores_evictability() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.lock(1);
+        assert!(c.access(2, false).bypassed);
+        c.unlock(1);
+        let out = c.access(2, false);
+        assert_eq!(out.evicted.map(|e| e.key), Some(1));
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.access(4, true);
+        assert_eq!(c.invalidate(4), Some(true));
+        assert_eq!(c.invalidate(4), None);
+    }
+
+    #[test]
+    fn targeted_set_eviction() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.access(0, false);
+        c.access(2, false);
+        let e = c.evict_lru_in_set_of(0).unwrap();
+        assert_eq!(e.key, 0);
+        assert!(!c.probe(0) && c.probe(2));
+    }
+
+    #[test]
+    fn geometry_constructor() {
+        let c = SetAssocCache::with_geometry(256 * 1024, 8, 64);
+        assert_eq!(c.sets(), 512);
+        assert_eq!(c.ways(), 8);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.access(1, false);
+        c.access(2, false);
+        assert!(c.probe(1)); // must not refresh key 1
+        let out = c.access(3, false);
+        assert_eq!(out.evicted.map(|e| e.key), Some(1));
+    }
+}

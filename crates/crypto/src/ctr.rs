@@ -1,0 +1,126 @@
+//! Counter-mode encryption of 64 B memory blocks (paper Section II-B).
+//!
+//! A 64 B data block is split into four 16 B chunks. Chunk `i` is XORed with
+//! `AES_K(seed_i)` where the seed is derived from the block's physical
+//! address, its (monotonically increasing) write counter, and the chunk
+//! index. Counter uniqueness guarantees pad uniqueness; the decrypt path is
+//! identical to the encrypt path.
+
+use crate::aes::Aes128;
+
+/// Bytes per memory block.
+pub const BLOCK_BYTES: usize = 64;
+/// AES chunks per memory block.
+pub const CHUNKS_PER_BLOCK: usize = BLOCK_BYTES / 16;
+
+/// Counter-mode encryption engine for 64 B blocks.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_crypto::ctr::CtrEngine;
+/// let engine = CtrEngine::new([1u8; 16]);
+/// let mut block = [5u8; 64];
+/// engine.encrypt_block(0x40, 1, &mut block);
+/// engine.decrypt_block(0x40, 1, &mut block);
+/// assert_eq!(block, [5u8; 64]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrEngine {
+    aes: Aes128,
+}
+
+impl CtrEngine {
+    /// Creates an engine with the processor's memory-encryption key.
+    pub fn new(key: [u8; 16]) -> Self {
+        CtrEngine {
+            aes: Aes128::new(key),
+        }
+    }
+
+    /// Derives the one-time pad for one 16 B chunk.
+    fn pad(&self, block_addr: u64, counter: u64, chunk: usize) -> [u8; 16] {
+        let mut seed = [0u8; 16];
+        seed[0..8].copy_from_slice(&block_addr.to_le_bytes());
+        seed[8..15].copy_from_slice(&counter.to_le_bytes()[..7]);
+        seed[15] = chunk as u8;
+        self.aes.encrypt_block(seed)
+    }
+
+    /// Encrypts `block` in place using the block's address and write counter.
+    pub fn encrypt_block(&self, block_addr: u64, counter: u64, block: &mut [u8; BLOCK_BYTES]) {
+        for chunk in 0..CHUNKS_PER_BLOCK {
+            let pad = self.pad(block_addr, counter, chunk);
+            for (i, p) in pad.iter().enumerate() {
+                block[chunk * 16 + i] ^= p;
+            }
+        }
+    }
+
+    /// Decrypts `block` in place. Counter-mode decryption equals encryption.
+    pub fn decrypt_block(&self, block_addr: u64, counter: u64, block: &mut [u8; BLOCK_BYTES]) {
+        self.encrypt_block(block_addr, counter, block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let e = CtrEngine::new([0x11u8; 16]);
+        let mut b = [0u8; 64];
+        for (i, byte) in b.iter_mut().enumerate() {
+            *byte = i as u8;
+        }
+        let orig = b;
+        e.encrypt_block(0x1234, 9, &mut b);
+        assert_ne!(b, orig);
+        e.decrypt_block(0x1234, 9, &mut b);
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn counter_changes_ciphertext() {
+        let e = CtrEngine::new([0x22u8; 16]);
+        let mut b1 = [7u8; 64];
+        let mut b2 = [7u8; 64];
+        e.encrypt_block(0x40, 1, &mut b1);
+        e.encrypt_block(0x40, 2, &mut b2);
+        assert_ne!(b1, b2, "pad must change with the counter");
+    }
+
+    #[test]
+    fn address_changes_ciphertext() {
+        let e = CtrEngine::new([0x22u8; 16]);
+        let mut b1 = [7u8; 64];
+        let mut b2 = [7u8; 64];
+        e.encrypt_block(0x40, 1, &mut b1);
+        e.encrypt_block(0x80, 1, &mut b2);
+        assert_ne!(b1, b2, "pad must change with the address (splicing)");
+    }
+
+    #[test]
+    fn chunks_use_distinct_pads() {
+        let e = CtrEngine::new([0x33u8; 16]);
+        let mut b = [0u8; 64];
+        e.encrypt_block(0, 0, &mut b);
+        // Encrypting an all-zero block exposes the pads directly; all four
+        // 16 B pads must differ.
+        for i in 0..CHUNKS_PER_BLOCK {
+            for j in (i + 1)..CHUNKS_PER_BLOCK {
+                assert_ne!(b[i * 16..(i + 1) * 16], b[j * 16..(j + 1) * 16]);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_counter_fails_to_decrypt() {
+        let e = CtrEngine::new([0x44u8; 16]);
+        let mut b = [9u8; 64];
+        e.encrypt_block(0x100, 5, &mut b);
+        e.decrypt_block(0x100, 6, &mut b);
+        assert_ne!(b, [9u8; 64]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Cryptographic primitives for the secure-memory substrate.
+//!
+//! Secure processors in the IvLeague paper rely on three cryptographic
+//! mechanisms (Section II-B): counter-mode encryption with per-block split
+//! counters, keyed-hash message authentication codes, and an integrity tree
+//! of keyed hashes. This crate implements the primitives from scratch so the
+//! reproduction has no external cryptographic dependencies:
+//!
+//! * [`aes`] — AES-128 block encryption (FIPS-197), used to generate the
+//!   one-time pads of counter-mode encryption;
+//! * [`siphash`] — SipHash-2-4 keyed 64-bit hash, used for tree-node hashes
+//!   and data MACs;
+//! * [`ctr`] — counter-mode encryption of 64 B memory blocks;
+//! * [`mac`] — per-block MACs over (address, counter, data).
+//!
+//! These are *simulation-grade* implementations: functionally correct and
+//! test-vector-validated, but not constant-time. The reproduction uses them
+//! to get real tamper-detection semantics, not production key protection.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivl_crypto::{ctr::CtrEngine, mac::MacEngine};
+//!
+//! let enc = CtrEngine::new([7u8; 16]);
+//! let mut block = [0xABu8; 64];
+//! let original = block;
+//! enc.encrypt_block(0x1000, 42, &mut block);
+//! assert_ne!(block, original);
+//! enc.decrypt_block(0x1000, 42, &mut block);
+//! assert_eq!(block, original);
+//!
+//! let mac = MacEngine::new([9u8; 16]);
+//! let tag = mac.data_mac(0x1000, 42, &block);
+//! assert!(mac.verify_data(0x1000, 42, &block, tag));
+//! ```
+
+pub mod aes;
+pub mod ctr;
+pub mod mac;
+pub mod siphash;
+
+/// A 64-bit keyed hash value (tree-node hash slots are 64-bit in the paper's
+/// 8-ary 64 B nodes).
+pub type Hash64 = u64;

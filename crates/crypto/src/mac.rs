@@ -1,0 +1,80 @@
+//! Message authentication codes over (address, counter, data).
+//!
+//! The paper keeps an 8-byte MAC per 64 B data block, computed over the
+//! block's contents, its physical address, and its encryption counter
+//! (Section II-B). Binding the address defeats splicing; binding the counter
+//! makes a verified counter prove data freshness under a Bonsai Merkle Tree.
+
+use crate::siphash::{siphash24, SipKey};
+
+/// MAC engine keyed with the processor's authentication key.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_crypto::mac::MacEngine;
+/// let mac = MacEngine::new([2u8; 16]);
+/// let data = [1u8; 64];
+/// let tag = mac.data_mac(0x40, 7, &data);
+/// assert!(mac.verify_data(0x40, 7, &data, tag));
+/// assert!(!mac.verify_data(0x80, 7, &data, tag)); // splicing detected
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacEngine {
+    key: SipKey,
+}
+
+impl MacEngine {
+    /// Creates an engine from a 128-bit key.
+    pub fn new(key: [u8; 16]) -> Self {
+        MacEngine {
+            key: SipKey::from_bytes(key),
+        }
+    }
+
+    /// Computes the 64-bit MAC of a data block.
+    pub fn data_mac(&self, block_addr: u64, counter: u64, data: &[u8; 64]) -> u64 {
+        let mut msg = [0u8; 80];
+        msg[0..8].copy_from_slice(&block_addr.to_le_bytes());
+        msg[8..16].copy_from_slice(&counter.to_le_bytes());
+        msg[16..80].copy_from_slice(data);
+        siphash24(self.key, &msg)
+    }
+
+    /// Verifies a data block against its stored MAC.
+    pub fn verify_data(&self, block_addr: u64, counter: u64, data: &[u8; 64], tag: u64) -> bool {
+        self.data_mac(block_addr, counter, data) == tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_data_tamper() {
+        let m = MacEngine::new([5u8; 16]);
+        let mut data = [0xAAu8; 64];
+        let tag = m.data_mac(64, 3, &data);
+        data[17] ^= 1;
+        assert!(!m.verify_data(64, 3, &data, tag));
+    }
+
+    #[test]
+    fn detects_counter_replay() {
+        let m = MacEngine::new([5u8; 16]);
+        let data = [0xAAu8; 64];
+        let tag_old = m.data_mac(64, 3, &data);
+        // Same data re-encrypted under a newer counter gets a different tag,
+        // so replaying the old (data, tag) pair fails once the counter moved.
+        assert!(!m.verify_data(64, 4, &data, tag_old));
+    }
+
+    #[test]
+    fn keys_separate_tags() {
+        let a = MacEngine::new([1u8; 16]);
+        let b = MacEngine::new([2u8; 16]);
+        let data = [3u8; 64];
+        assert_ne!(a.data_mac(0, 0, &data), b.data_mac(0, 0, &data));
+    }
+}

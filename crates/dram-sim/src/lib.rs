@@ -1,0 +1,309 @@
+//! DRAM timing model: channels, ranks, banks, open-row policy, FR-FCFS-style
+//! row-hit preference.
+//!
+//! The model answers one question for the system simulator: *when does a
+//! memory request to block `B`, issued at cycle `t`, complete?* It tracks
+//! per-bank open rows and busy windows and a per-channel data bus, charging
+//! the Table I timing parameters (tRCD / tCAS / tRP / burst). Requests are
+//! served in arrival order per bank, but row-buffer hits skip the
+//! activate/precharge phases exactly as an FR-FCFS scheduler's row-hit-first
+//! policy would produce for the steady state the trace-driven engine models.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivl_dram::DramModel;
+//! use ivl_sim_core::{addr::BlockAddr, config::SystemConfig};
+//!
+//! let cfg = SystemConfig::default().dram;
+//! let mut dram = DramModel::new(&cfg);
+//! let done = dram.access(0, BlockAddr::new(0), false);
+//! // Block 2 sits on the same channel and row as block 0 → row-buffer hit.
+//! let done2 = dram.access(done, BlockAddr::new(2), false);
+//! assert!(done2 - done < done, "row hit is cheaper than a cold access");
+//! ```
+
+use ivl_sim_core::addr::{BlockAddr, BLOCK_BYTES};
+use ivl_sim_core::config::DramConfig;
+use ivl_sim_core::stats::Counter;
+use ivl_sim_core::Cycle;
+
+/// Decoded DRAM coordinates of a block address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: usize,
+    /// Bank index within the channel (rank-flattened).
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+}
+
+/// Row-buffer outcome of a single access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The target row was already open.
+    Hit,
+    /// The bank was idle (no open row): activate only.
+    Empty,
+    /// A different row was open: precharge + activate.
+    Conflict,
+}
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DramStats {
+    /// Total read requests.
+    pub reads: Counter,
+    /// Total write requests.
+    pub writes: Counter,
+    /// Row-buffer hits.
+    pub row_hits: Counter,
+    /// Row-buffer conflicts.
+    pub row_conflicts: Counter,
+}
+
+/// The DRAM timing model.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    cfg: DramConfig,
+    banks_per_channel: usize,
+    blocks_per_row: u64,
+    /// `banks[channel][bank]`.
+    banks: Vec<Vec<Bank>>,
+    /// Per-channel data-bus availability.
+    bus_free: Vec<Cycle>,
+    stats: DramStats,
+}
+
+impl DramModel {
+    /// Creates a model from a [`DramConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero channels/ranks/banks or a row
+    /// smaller than a block.
+    pub fn new(cfg: &DramConfig) -> Self {
+        assert!(cfg.channels > 0 && cfg.ranks_per_channel > 0 && cfg.banks_per_rank > 0);
+        assert!(cfg.row_bytes >= BLOCK_BYTES);
+        let banks_per_channel = cfg.ranks_per_channel * cfg.banks_per_rank;
+        DramModel {
+            cfg: *cfg,
+            banks_per_channel,
+            blocks_per_row: (cfg.row_bytes / BLOCK_BYTES) as u64,
+            banks: vec![
+                vec![
+                    Bank {
+                        open_row: None,
+                        busy_until: 0
+                    };
+                    banks_per_channel
+                ];
+                cfg.channels
+            ],
+            bus_free: vec![0; cfg.channels],
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Maps a block address to its DRAM coordinates (block-interleaved
+    /// channels, then row-interleaved banks).
+    pub fn coord(&self, block: BlockAddr) -> DramCoord {
+        let idx = block.index();
+        let channel = (idx % self.cfg.channels as u64) as usize;
+        let per_channel = idx / self.cfg.channels as u64;
+        let row_global = per_channel / self.blocks_per_row;
+        let bank = (row_global % self.banks_per_channel as u64) as usize;
+        let row = row_global / self.banks_per_channel as u64;
+        DramCoord { channel, bank, row }
+    }
+
+    /// Issues one request at cycle `now`; returns its completion cycle.
+    pub fn access(&mut self, now: Cycle, block: BlockAddr, is_write: bool) -> Cycle {
+        let c = self.coord(block);
+        if is_write {
+            self.stats.writes.inc();
+        } else {
+            self.stats.reads.inc();
+        }
+
+        let bank = &mut self.banks[c.channel][c.bank];
+        // Bank-level serialization only: array accesses in different banks
+        // overlap, and the shared data bus is occupied just for the burst.
+        let start = now.max(bank.busy_until);
+
+        let (outcome, array_latency) = match bank.open_row {
+            Some(r) if r == c.row => (RowOutcome::Hit, self.cfg.t_cas),
+            Some(_) => (
+                RowOutcome::Conflict,
+                self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas,
+            ),
+            None => (RowOutcome::Empty, self.cfg.t_rcd + self.cfg.t_cas),
+        };
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits.inc(),
+            RowOutcome::Conflict => self.stats.row_conflicts.inc(),
+            RowOutcome::Empty => {}
+        }
+
+        let data_ready = start + array_latency;
+        // The burst waits for the channel's data bus, which frees at burst
+        // granularity (pipelined with other banks' array accesses).
+        let burst_start = data_ready.max(self.bus_free[c.channel]);
+        let done = burst_start + self.cfg.t_burst;
+        bank.open_row = Some(c.row);
+        bank.busy_until = data_ready;
+        self.bus_free[c.channel] = done;
+        done
+    }
+
+    /// Convenience: latency (cycles) of a request issued at `now`.
+    pub fn access_latency(&mut self, now: Cycle, block: BlockAddr, is_write: bool) -> Cycle {
+        self.access(now, block, is_write) - now
+    }
+
+    /// Snapshot of statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_sim_core::config::SystemConfig;
+
+    fn model() -> DramModel {
+        DramModel::new(&SystemConfig::default().dram)
+    }
+
+    #[test]
+    fn row_hit_is_cheaper_than_conflict() {
+        let mut d = model();
+        let cfg = *d.config();
+        let blocks_per_row = (cfg.row_bytes / BLOCK_BYTES) as u64;
+        let b0 = BlockAddr::new(0);
+        // Same channel (stride = channels), same bank, different row:
+        let other_row = BlockAddr::new(
+            blocks_per_row
+                * cfg.channels as u64
+                * (cfg.ranks_per_channel * cfg.banks_per_rank) as u64,
+        );
+        assert_eq!(d.coord(b0).channel, d.coord(other_row).channel);
+        assert_eq!(d.coord(b0).bank, d.coord(other_row).bank);
+        assert_ne!(d.coord(b0).row, d.coord(other_row).row);
+
+        let t_first = d.access_latency(0, b0, false); // empty
+        let t_hit = d.access_latency(10_000, b0, false); // hit
+        let t_conflict = d.access_latency(20_000, other_row, false); // conflict
+        assert!(t_hit < t_first);
+        assert!(t_first < t_conflict);
+        assert_eq!(t_hit, cfg.t_cas + cfg.t_burst);
+        assert_eq!(t_conflict, cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.t_burst);
+    }
+
+    #[test]
+    fn consecutive_blocks_interleave_channels() {
+        let d = model();
+        let c0 = d.coord(BlockAddr::new(0));
+        let c1 = d.coord(BlockAddr::new(1));
+        assert_ne!(c0.channel, c1.channel);
+    }
+
+    #[test]
+    fn bus_serializes_bursts_only() {
+        let mut d = model();
+        let cfg = *d.config();
+        let b = BlockAddr::new(0);
+        let done1 = d.access(0, b, false);
+        // A same-bank follow-up serializes on the bank (array) and then on
+        // the data bus for one burst.
+        let done2 = d.access(0, b, false);
+        assert!(done2 >= done1 + cfg.t_burst);
+        // A different-bank access on the same channel overlaps its array
+        // access with the earlier bursts and pays at most one extra burst.
+        let banks = (d.config().ranks_per_channel * d.config().banks_per_rank) as u64;
+        let other_bank = BlockAddr::new(
+            (cfg.row_bytes / BLOCK_BYTES) as u64 * cfg.channels as u64,
+        );
+        assert_ne!(d.coord(b).bank, d.coord(other_bank).bank);
+        let _ = banks;
+        let done3 = d.access(0, other_bank, false);
+        assert!(done3 <= done2 + cfg.t_burst + cfg.t_rcd + cfg.t_cas);
+    }
+
+    #[test]
+    fn different_channels_proceed_in_parallel() {
+        let mut d = model();
+        let done_a = d.access(0, BlockAddr::new(0), false);
+        let done_b = d.access(0, BlockAddr::new(1), false);
+        // Same issue cycle, disjoint channels: identical completion times.
+        assert_eq!(done_a, done_b);
+    }
+
+    #[test]
+    fn stats_track_outcomes() {
+        let mut d = model();
+        let b = BlockAddr::new(0);
+        d.access(0, b, false);
+        d.access(1000, b, true);
+        let s = d.stats();
+        assert_eq!(s.reads.get(), 1);
+        assert_eq!(s.writes.get(), 1);
+        assert_eq!(s.row_hits.get(), 1);
+    }
+
+    #[test]
+    fn access_latency_equals_completion_minus_issue() {
+        let mut d = model();
+        let b = BlockAddr::new(0);
+        let lat = d.access_latency(100, b, false);
+        let mut d2 = model();
+        let done = d2.access(100, b, false);
+        assert_eq!(lat, done - 100);
+    }
+
+    #[test]
+    fn row_conflicts_are_counted() {
+        let mut d = model();
+        let cfg = *d.config();
+        let blocks_per_row = (cfg.row_bytes / BLOCK_BYTES) as u64;
+        let stride = blocks_per_row
+            * cfg.channels as u64
+            * (cfg.ranks_per_channel * cfg.banks_per_rank) as u64;
+        d.access(0, BlockAddr::new(0), false);
+        d.access(10_000, BlockAddr::new(stride), false); // same bank, new row
+        d.access(20_000, BlockAddr::new(0), false); // back again
+        assert_eq!(d.stats().row_conflicts.get(), 2);
+        assert_eq!(d.stats().row_hits.get(), 0);
+    }
+
+    #[test]
+    fn idle_banks_do_not_delay_late_requests() {
+        let mut d = model();
+        let lat_now = d.access_latency(1_000_000, BlockAddr::new(0), false);
+        let cfg = *d.config();
+        assert_eq!(lat_now, cfg.t_rcd + cfg.t_cas + cfg.t_burst);
+    }
+
+    #[test]
+    fn coord_is_stable_and_in_range() {
+        let d = model();
+        for i in 0..10_000u64 {
+            let c = d.coord(BlockAddr::new(i * 97));
+            assert!(c.channel < d.config().channels);
+            assert!(c.bank < d.banks_per_channel);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! In-memory byte layout of NFL blocks (paper §X-D).
+//!
+//! Each NFL entry is 64 bits: a 56-bit node-block tag and an 8-bit
+//! availability vector; eight entries pack into one 64 B memory block. The
+//! timing model only needs block *addresses*, but a real memory controller
+//! serializes these structures — this module provides the bidirectional
+//! encoding and checks the paper's storage arithmetic (64 bits per TreeLing
+//! node of NFL metadata).
+
+/// Bits of the node-block tag within an entry.
+pub const TAG_BITS: u32 = 56;
+/// NFL entries per 64 B memory block.
+pub const ENTRIES_PER_BLOCK: usize = 8;
+
+/// One serialized NFL entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NflEntry {
+    /// Node-block tag (56 bits used).
+    pub tag: u64,
+    /// Availability bit-vector over the node's slots.
+    pub avail: u8,
+}
+
+/// Encoding failure: the tag exceeds its 56-bit field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagOverflow {
+    /// The offending tag.
+    pub tag: u64,
+}
+
+impl std::fmt::Display for TagOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NFL tag {:#x} does not fit in 56 bits", self.tag)
+    }
+}
+
+impl std::error::Error for TagOverflow {}
+
+impl NflEntry {
+    /// Packs the entry into its 64-bit wire form: tag in the low 56 bits,
+    /// availability vector in the high 8.
+    ///
+    /// # Errors
+    ///
+    /// [`TagOverflow`] if the tag needs more than 56 bits.
+    pub fn pack(&self) -> Result<u64, TagOverflow> {
+        if self.tag >> TAG_BITS != 0 {
+            return Err(TagOverflow { tag: self.tag });
+        }
+        Ok(self.tag | ((self.avail as u64) << TAG_BITS))
+    }
+
+    /// Unpacks an entry from its 64-bit wire form.
+    pub fn unpack(raw: u64) -> Self {
+        NflEntry {
+            tag: raw & ((1u64 << TAG_BITS) - 1),
+            avail: (raw >> TAG_BITS) as u8,
+        }
+    }
+}
+
+/// Serializes up to [`ENTRIES_PER_BLOCK`] entries into a 64 B NFL block
+/// (missing entries encode as zero).
+///
+/// # Errors
+///
+/// [`TagOverflow`] if any tag exceeds 56 bits.
+///
+/// # Examples
+///
+/// ```
+/// use ivleague::nfl_encoding::{decode_block, encode_block, NflEntry};
+/// let entries = [NflEntry { tag: 0xABCD, avail: 0b1010_0001 }; 8];
+/// let block = encode_block(&entries).unwrap();
+/// assert_eq!(decode_block(&block), entries);
+/// ```
+pub fn encode_block(entries: &[NflEntry]) -> Result<[u8; 64], TagOverflow> {
+    let mut out = [0u8; 64];
+    for (i, e) in entries.iter().take(ENTRIES_PER_BLOCK).enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&e.pack()?.to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Deserializes a 64 B NFL block into its eight entries.
+pub fn decode_block(block: &[u8; 64]) -> [NflEntry; ENTRIES_PER_BLOCK] {
+    let mut out = [NflEntry::default(); ENTRIES_PER_BLOCK];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let raw = u64::from_le_bytes(block[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+        *slot = NflEntry::unpack(raw);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let e = NflEntry {
+            tag: (1u64 << TAG_BITS) - 1,
+            avail: 0xA5,
+        };
+        assert_eq!(NflEntry::unpack(e.pack().unwrap()), e);
+    }
+
+    #[test]
+    fn oversized_tag_rejected() {
+        let e = NflEntry {
+            tag: 1u64 << TAG_BITS,
+            avail: 0,
+        };
+        assert_eq!(e.pack(), Err(TagOverflow { tag: 1u64 << TAG_BITS }));
+        assert!(!format!("{}", e.pack().unwrap_err()).is_empty());
+    }
+
+    #[test]
+    fn block_round_trip_and_padding() {
+        let entries: Vec<NflEntry> = (0..5)
+            .map(|i| NflEntry {
+                tag: 0x1000 + i,
+                avail: i as u8,
+            })
+            .collect();
+        let block = encode_block(&entries).unwrap();
+        let decoded = decode_block(&block);
+        assert_eq!(&decoded[..5], entries.as_slice());
+        assert_eq!(decoded[5], NflEntry::default());
+    }
+
+    #[test]
+    fn paper_storage_arithmetic_holds() {
+        // 64 bits of NFL metadata per TreeLing node (§X-D): eight entries
+        // fill one 64 B block exactly.
+        assert_eq!(ENTRIES_PER_BLOCK * 8, 64);
+        // The default system's node keys fit the 56-bit tag.
+        let cfg = ivl_sim_core::config::SystemConfig::default();
+        let g = crate::geometry::TreeLingGeometry::new(
+            cfg.secure.tree_arity as u32,
+            cfg.ivleague.treeling_levels as u32,
+        );
+        let max_key = cfg.ivleague.treeling_count as u64 * g.nodes_per_treeling() as u64;
+        assert!(max_key < (1u64 << TAG_BITS));
+    }
+}

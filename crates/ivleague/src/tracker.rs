@@ -1,0 +1,231 @@
+//! IvLeague-Pro's hotpage access-frequency tracker (paper §VII-B,
+//! Figure 14a).
+//!
+//! A small per-domain table in the memory controller counts page accesses:
+//!
+//! * a tracked page's counter saturates at the configured bit width;
+//! * an untracked page replaces the entry with the **smallest counter**;
+//! * crossing the frequency threshold **promotes** the page to the hot
+//!   region of its TreeLing;
+//! * counters clear on a fixed interval, so stale hotpages decay and are
+//!   eventually evicted, which **demotes** them back to the regular region.
+
+use ivl_sim_core::addr::PageNum;
+
+/// Promotion/demotion event emitted by the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotEvent {
+    /// The page crossed the hot threshold: migrate it into the hot region.
+    Promote(PageNum),
+    /// The page left the tracker while hot: migrate it back.
+    Demote(PageNum),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    page: PageNum,
+    counter: u32,
+    promoted: bool,
+    /// Insertion sequence, used to break replacement ties toward the
+    /// oldest entry so striding working sets churn fairly.
+    seq: u64,
+}
+
+/// The access-frequency tracking table.
+///
+/// # Examples
+///
+/// ```
+/// use ivleague::tracker::{HotEvent, HotpageTracker};
+/// use ivl_sim_core::addr::PageNum;
+///
+/// let mut t = HotpageTracker::new(4, 8, 3, 1_000);
+/// let p = PageNum::new(42);
+/// assert!(t.record(p).is_empty());
+/// assert!(t.record(p).is_empty());
+/// assert_eq!(t.record(p), vec![HotEvent::Promote(p)]); // third access
+/// ```
+#[derive(Debug, Clone)]
+pub struct HotpageTracker {
+    entries: Vec<Entry>,
+    capacity: usize,
+    counter_max: u32,
+    threshold: u32,
+    clear_interval: u64,
+    accesses_since_clear: u64,
+    next_seq: u64,
+}
+
+impl HotpageTracker {
+    /// Creates a tracker with `capacity` entries, `counter_bits`-wide
+    /// counters, promotion `threshold`, and a decay `clear_interval`
+    /// measured in recorded accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`, `threshold == 0` or `counter_bits` is not
+    /// in `1..=31`.
+    pub fn new(capacity: usize, counter_bits: u32, threshold: u32, clear_interval: u64) -> Self {
+        assert!(capacity > 0);
+        assert!((1..=31).contains(&counter_bits));
+        assert!(threshold > 0);
+        HotpageTracker {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            counter_max: (1 << counter_bits) - 1,
+            threshold,
+            clear_interval: clear_interval.max(1),
+            accesses_since_clear: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Records an access to `page`, returning any promotion/demotion events.
+    pub fn record(&mut self, page: PageNum) -> Vec<HotEvent> {
+        let mut events = Vec::new();
+        self.accesses_since_clear += 1;
+        if self.accesses_since_clear >= self.clear_interval {
+            self.accesses_since_clear = 0;
+            for e in &mut self.entries {
+                e.counter = 0;
+            }
+        }
+
+        if let Some(e) = self.entries.iter_mut().find(|e| e.page == page) {
+            e.counter = (e.counter + 1).min(self.counter_max);
+            if !e.promoted && e.counter >= self.threshold {
+                e.promoted = true;
+                events.push(HotEvent::Promote(page));
+            }
+            return events;
+        }
+
+        self.next_seq += 1;
+        let mut new_entry = Entry {
+            page,
+            counter: 1,
+            promoted: false,
+            seq: self.next_seq,
+        };
+        if new_entry.counter >= self.threshold {
+            new_entry.promoted = true;
+            events.push(HotEvent::Promote(page));
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(new_entry);
+        } else {
+            // Replace the entry with the smallest counter, breaking ties
+            // toward the oldest entry so a striding set churns fairly.
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.counter, e.seq))
+                .expect("nonempty");
+            let victim = self.entries[idx];
+            if victim.promoted {
+                events.push(HotEvent::Demote(victim.page));
+            }
+            self.entries[idx] = new_entry;
+        }
+        events
+    }
+
+    /// Whether `page` is currently marked hot.
+    pub fn is_hot(&self, page: PageNum) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.page == page && e.promoted)
+    }
+
+    /// Number of tracked pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tracker is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageNum {
+        PageNum::new(i)
+    }
+
+    #[test]
+    fn promotion_fires_once() {
+        let mut t = HotpageTracker::new(4, 8, 2, 1000);
+        assert!(t.record(p(1)).is_empty());
+        assert_eq!(t.record(p(1)), vec![HotEvent::Promote(p(1))]);
+        assert!(t.record(p(1)).is_empty(), "no duplicate promotions");
+        assert!(t.is_hot(p(1)));
+    }
+
+    #[test]
+    fn replacement_evicts_smallest_counter() {
+        let mut t = HotpageTracker::new(2, 8, 100, 1000);
+        t.record(p(1));
+        t.record(p(1));
+        t.record(p(2)); // counter 1 — smallest
+        t.record(p(3)); // evicts p(2)
+        assert_eq!(t.len(), 2);
+        t.record(p(1));
+        assert!(!t.is_hot(p(2)));
+    }
+
+    #[test]
+    fn demotion_on_eviction_of_promoted_page() {
+        let mut t = HotpageTracker::new(1, 8, 1, 1000);
+        let ev = t.record(p(1));
+        assert_eq!(ev, vec![HotEvent::Promote(p(1))]);
+        let ev = t.record(p(2));
+        assert!(ev.contains(&HotEvent::Demote(p(1))));
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut t = HotpageTracker::new(1, 2, 100, 1_000_000);
+        for _ in 0..10 {
+            t.record(p(1));
+        }
+        // counter_max for 2 bits is 3; no panic and still tracked.
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn interval_clear_resets_counters() {
+        let mut t = HotpageTracker::new(2, 8, 4, 5);
+        for _ in 0..3 {
+            t.record(p(1)); // counter 3, below threshold 4
+        }
+        t.record(p(2)); // 4th access
+        t.record(p(2)); // 5th access triggers clear first, then counts
+        // p(1)'s counter was cleared; three more accesses stay below the
+        // threshold again (clear interval keeps resetting long streaks of
+        // slow pages).
+        let ev = t.record(p(1));
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn striding_working_set_larger_than_table_promotes_nothing() {
+        // Paper §VII-B: efficacy requires hotpage striping < n.
+        let mut t = HotpageTracker::new(8, 8, 4, 1_000_000);
+        for round in 0..20 {
+            for i in 0..16 {
+                let ev = t.record(p(i));
+                for e in ev {
+                    assert!(
+                        !matches!(e, HotEvent::Promote(_)),
+                        "unexpected promotion in round {round}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests on TreeLing geometry arithmetic.
+
+use ivleague::geometry::{TlNode, TreeLingGeometry, TreeLingId, TreeLingLayout};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn offset_round_trip(arity in 2u32..9, levels in 1u32..6, seed in any::<u32>()) {
+        let g = TreeLingGeometry::new(arity, levels);
+        let offset = seed % g.nodes_per_treeling();
+        let node = g.node_from_offset(offset);
+        prop_assert_eq!(g.node_offset(node), offset);
+    }
+
+    #[test]
+    fn parent_child_consistency(arity in 2u32..9, levels in 2u32..6, seed in any::<u32>()) {
+        let g = TreeLingGeometry::new(arity, levels);
+        // Pick a non-root node.
+        let below_root: u32 = (1..levels).map(|l| g.nodes_at_level(l)).sum();
+        let node = g.node_from_offset(1 + seed % below_root);
+        prop_assert!(node.level < levels);
+        let parent = g.parent(node).expect("non-root has a parent");
+        let slot = g.slot_in_parent(node);
+        prop_assert_eq!(g.child(parent, slot), Some(node));
+        prop_assert!((slot as u32) < arity);
+    }
+
+    #[test]
+    fn node_addresses_never_collide(
+        arity in 2u32..9,
+        levels in 1u32..5,
+        t1 in 0u32..16,
+        t2 in 0u32..16,
+        o1 in any::<u32>(),
+        o2 in any::<u32>(),
+    ) {
+        let g = TreeLingGeometry::new(arity, levels);
+        let layout = TreeLingLayout::new(g, 16, 10_000);
+        let n1 = g.node_from_offset(o1 % g.nodes_per_treeling());
+        let n2 = g.node_from_offset(o2 % g.nodes_per_treeling());
+        let a1 = layout.node_block(TreeLingId(t1), n1);
+        let a2 = layout.node_block(TreeLingId(t2), n2);
+        prop_assert_eq!(a1 == a2, t1 == t2 && n1 == n2);
+    }
+
+    #[test]
+    fn coverage_is_arity_pow_levels(arity in 2u32..9, levels in 1u32..6) {
+        let g = TreeLingGeometry::new(arity, levels);
+        prop_assert_eq!(g.leaf_capacity(), (arity as u64).pow(levels));
+        let sum: u32 = (1..=levels).map(|l| g.nodes_at_level(l)).sum();
+        prop_assert_eq!(sum, g.nodes_per_treeling());
+    }
+}
+
+#[test]
+fn upper_structure_disjoint_from_treeling_nodes() {
+    let g = TreeLingGeometry::new(8, 4);
+    let layout = TreeLingLayout::new(g, 64, 0);
+    let max_tl_block = layout
+        .node_block(TreeLingId(63), TlNode { level: 1, index: g.nodes_at_level(1) - 1 });
+    for b in layout.upper_structure_blocks() {
+        assert!(b.index() > max_tl_block.index());
+    }
+}

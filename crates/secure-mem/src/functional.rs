@@ -1,0 +1,408 @@
+//! Functional secure memory: real ciphertext, MACs and integrity tree.
+//!
+//! [`SecureMemory`] behaves like the off-chip memory of a secure processor:
+//! every 64 B block write encrypts with a fresh counter, stores a MAC bound
+//! to (address, counter, ciphertext) and refreshes the Bonsai Merkle Tree;
+//! every read verifies the MAC and the tree path before decrypting. The
+//! tamper API mutates the underlying stores the way a physical attacker
+//! would (spoofing, splicing, replay), letting tests assert that each attack
+//! class is detected.
+
+use std::collections::HashMap;
+
+use ivl_crypto::ctr::CtrEngine;
+use ivl_crypto::mac::MacEngine;
+use ivl_sim_core::addr::{BlockAddr, PageNum};
+
+use crate::counters::{CounterStore, MINOR_LIMIT};
+use crate::layout::MetadataLayout;
+use crate::tree::{MerkleTree, VerifyError};
+
+/// Why a secure-memory read failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// The block was never written (no ciphertext to verify).
+    NotPresent,
+    /// MAC verification failed: data spoofing or splicing.
+    MacMismatch,
+    /// Integrity-tree verification failed: replay or metadata tampering.
+    Tree(VerifyError),
+    /// The address lies outside the protected region.
+    OutOfRange,
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::NotPresent => write!(f, "block was never written"),
+            IntegrityError::MacMismatch => write!(f, "MAC verification failed"),
+            IntegrityError::Tree(e) => write!(f, "integrity tree verification failed: {e}"),
+            IntegrityError::OutOfRange => write!(f, "address outside protected memory"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+impl From<VerifyError> for IntegrityError {
+    fn from(e: VerifyError) -> Self {
+        IntegrityError::Tree(e)
+    }
+}
+
+/// Snapshot of one block's off-chip state, for modeling replay attacks.
+#[derive(Debug, Clone)]
+pub struct BlockSnapshot {
+    block: BlockAddr,
+    ciphertext: Option<[u8; 64]>,
+    mac: Option<u64>,
+    counter_block: crate::counters::CounterBlock,
+}
+
+/// A functionally correct secure memory.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_secure_mem::functional::SecureMemory;
+/// use ivl_sim_core::addr::BlockAddr;
+///
+/// let mut mem = SecureMemory::new(16, [1u8; 16], [2u8; 16], [3u8; 16]);
+/// mem.write_block(BlockAddr::new(0), &[7u8; 64]).unwrap();
+/// assert_eq!(mem.read_block(BlockAddr::new(0)).unwrap(), [7u8; 64]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecureMemory {
+    layout: MetadataLayout,
+    enc: CtrEngine,
+    mac: MacEngine,
+    counters: CounterStore,
+    tree: MerkleTree,
+    /// Off-chip ciphertext per data block.
+    data: HashMap<BlockAddr, [u8; 64]>,
+    /// Off-chip MAC per data block.
+    macs: HashMap<BlockAddr, u64>,
+    /// Page re-encryptions caused by minor-counter overflow.
+    page_reencryptions: u64,
+}
+
+impl SecureMemory {
+    /// Creates a secure memory protecting `pages` pages with the three
+    /// processor keys (encryption, MAC, tree).
+    pub fn new(pages: u64, enc_key: [u8; 16], mac_key: [u8; 16], tree_key: [u8; 16]) -> Self {
+        let layout = MetadataLayout::new(pages, 8);
+        SecureMemory {
+            tree: MerkleTree::new(layout.clone(), tree_key),
+            layout,
+            enc: CtrEngine::new(enc_key),
+            mac: MacEngine::new(mac_key),
+            counters: CounterStore::new(),
+            data: HashMap::new(),
+            macs: HashMap::new(),
+            page_reencryptions: 0,
+        }
+    }
+
+    /// The metadata layout in use.
+    pub fn layout(&self) -> &MetadataLayout {
+        &self.layout
+    }
+
+    /// Number of page re-encryptions triggered by counter overflow.
+    pub fn page_reencryptions(&self) -> u64 {
+        self.page_reencryptions
+    }
+
+    fn check_range(&self, block: BlockAddr) -> Result<(), IntegrityError> {
+        if block.page().index() < self.layout.data_pages() {
+            Ok(())
+        } else {
+            Err(IntegrityError::OutOfRange)
+        }
+    }
+
+    /// Writes one 64 B block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError::OutOfRange`] for addresses outside the
+    /// protected region, or a verification error if a minor-counter overflow
+    /// forces a page re-encryption and an existing block of the page fails
+    /// its own read-back verification.
+    pub fn write_block(
+        &mut self,
+        block: BlockAddr,
+        plaintext: &[u8; 64],
+    ) -> Result<(), IntegrityError> {
+        self.check_range(block)?;
+        let page = block.page();
+
+        // A minor overflow resets every minor on the page, so all existing
+        // blocks must be decrypted under their old counters first.
+        let will_overflow =
+            self.counters.block_of(page).minors[block.page_offset()] as u64 + 1 >= MINOR_LIMIT;
+        let mut reencrypt: Vec<(BlockAddr, [u8; 64])> = Vec::new();
+        if will_overflow {
+            for b in page.blocks() {
+                if b != block && self.data.contains_key(&b) {
+                    let pt = self.read_block(b)?;
+                    reencrypt.push((b, pt));
+                }
+            }
+        }
+
+        let outcome = self.counters.increment(block);
+        if outcome.page_reencryption {
+            self.page_reencryptions += 1;
+            for (b, pt) in reencrypt {
+                let ctr = self.counters.counter_of(b);
+                let mut ct = pt;
+                self.enc.encrypt_block(b.index(), ctr, &mut ct);
+                self.macs.insert(b, self.mac.data_mac(b.index(), ctr, &ct));
+                self.data.insert(b, ct);
+            }
+        }
+
+        let mut ct = *plaintext;
+        self.enc.encrypt_block(block.index(), outcome.counter, &mut ct);
+        self.macs
+            .insert(block, self.mac.data_mac(block.index(), outcome.counter, &ct));
+        self.data.insert(block, ct);
+        self.tree.update_page(page, &self.counters.block_of(page));
+        Ok(())
+    }
+
+    /// Reads and verifies one 64 B block.
+    ///
+    /// # Errors
+    ///
+    /// * [`IntegrityError::NotPresent`] if the block was never written;
+    /// * [`IntegrityError::MacMismatch`] on spoofing/splicing;
+    /// * [`IntegrityError::Tree`] on replay or metadata tampering.
+    pub fn read_block(&self, block: BlockAddr) -> Result<[u8; 64], IntegrityError> {
+        self.check_range(block)?;
+        let ct = self.data.get(&block).ok_or(IntegrityError::NotPresent)?;
+        let tag = self.macs.get(&block).ok_or(IntegrityError::NotPresent)?;
+        let page = block.page();
+        let counter_block = self.counters.block_of(page);
+        let counter = counter_block.logical(block.page_offset());
+
+        if !self.mac.verify_data(block.index(), counter, ct, *tag) {
+            return Err(IntegrityError::MacMismatch);
+        }
+        self.tree.verify_page(page, &counter_block)?;
+
+        let mut pt = *ct;
+        self.enc.decrypt_block(block.index(), counter, &mut pt);
+        Ok(pt)
+    }
+
+    /// Deallocates a page: data, MACs and counters are forgotten and the
+    /// tree records the scrubbed counter block.
+    pub fn dealloc_page(&mut self, page: PageNum) {
+        for b in page.blocks() {
+            self.data.remove(&b);
+            self.macs.remove(&b);
+        }
+        self.counters.forget_page(page);
+        self.tree
+            .update_page(page, &self.counters.block_of(page));
+    }
+
+    // ------------------------------------------------------------------
+    // Tamper API (physical-attacker modeling)
+    // ------------------------------------------------------------------
+
+    /// Flips bits of the stored ciphertext (data spoofing).
+    pub fn corrupt_data(&mut self, block: BlockAddr, byte: usize, xor: u8) {
+        if let Some(ct) = self.data.get_mut(&block) {
+            ct[byte % 64] ^= xor;
+        }
+    }
+
+    /// Copies ciphertext + MAC from `src` to `dst` (splicing).
+    pub fn splice(&mut self, src: BlockAddr, dst: BlockAddr) {
+        if let (Some(ct), Some(tag)) = (self.data.get(&src).copied(), self.macs.get(&src).copied())
+        {
+            self.data.insert(dst, ct);
+            self.macs.insert(dst, tag);
+        }
+    }
+
+    /// Snapshots a block's off-chip state (ciphertext, MAC, counter block).
+    pub fn snapshot_block(&self, block: BlockAddr) -> BlockSnapshot {
+        BlockSnapshot {
+            block,
+            ciphertext: self.data.get(&block).copied(),
+            mac: self.macs.get(&block).copied(),
+            counter_block: self.counters.block_of(block.page()),
+        }
+    }
+
+    /// Restores a previously snapshotted state — a *replay attack*. The
+    /// attacker controls all off-chip state (data, MAC **and** the
+    /// in-memory counter block), but not the on-chip tree root.
+    pub fn replay_block(&mut self, snapshot: &BlockSnapshot) {
+        let block = snapshot.block;
+        match snapshot.ciphertext {
+            Some(ct) => {
+                self.data.insert(block, ct);
+            }
+            None => {
+                self.data.remove(&block);
+            }
+        }
+        match snapshot.mac {
+            Some(tag) => {
+                self.macs.insert(block, tag);
+            }
+            None => {
+                self.macs.remove(&block);
+            }
+        }
+        // Restore the off-chip counter block as well: counters live in
+        // memory too. The integrity tree (leaf hash chained to the on-chip
+        // root) is exactly what makes this detectable.
+        self.counters
+            .set_block(block.page(), snapshot.counter_block.clone());
+    }
+
+    /// Direct access to the tree for metadata-tampering tests.
+    pub fn tree_mut(&mut self) -> &mut MerkleTree {
+        &mut self.tree
+    }
+
+    /// Read-only access to the tree.
+    pub fn tree(&self) -> &MerkleTree {
+        &self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> SecureMemory {
+        SecureMemory::new(64, [1u8; 16], [2u8; 16], [3u8; 16])
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = mem();
+        let b = BlockAddr::new(10);
+        m.write_block(b, &[0x42u8; 64]).unwrap();
+        assert_eq!(m.read_block(b).unwrap(), [0x42u8; 64]);
+    }
+
+    #[test]
+    fn unwritten_block_not_present() {
+        let m = mem();
+        assert_eq!(
+            m.read_block(BlockAddr::new(0)),
+            Err(IntegrityError::NotPresent)
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = mem();
+        let beyond = PageNum::new(64).block(0);
+        assert_eq!(
+            m.write_block(beyond, &[0u8; 64]),
+            Err(IntegrityError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let mut m = mem();
+        let b = BlockAddr::new(3);
+        m.write_block(b, &[0x11u8; 64]).unwrap();
+        assert_ne!(m.data[&b], [0x11u8; 64]);
+    }
+
+    #[test]
+    fn spoofing_detected() {
+        let mut m = mem();
+        let b = BlockAddr::new(1);
+        m.write_block(b, &[9u8; 64]).unwrap();
+        m.corrupt_data(b, 5, 0x80);
+        assert_eq!(m.read_block(b), Err(IntegrityError::MacMismatch));
+    }
+
+    #[test]
+    fn splicing_detected() {
+        let mut m = mem();
+        let a = BlockAddr::new(1);
+        let b = BlockAddr::new(2);
+        m.write_block(a, &[1u8; 64]).unwrap();
+        m.write_block(b, &[2u8; 64]).unwrap();
+        m.splice(a, b);
+        assert_eq!(m.read_block(b), Err(IntegrityError::MacMismatch));
+    }
+
+    #[test]
+    fn replay_detected_by_tree() {
+        let mut m = mem();
+        let b = BlockAddr::new(1);
+        m.write_block(b, &[1u8; 64]).unwrap();
+        let snap = m.snapshot_block(b);
+        m.write_block(b, &[2u8; 64]).unwrap();
+        m.replay_block(&snap);
+        // MAC over the stale triple is internally consistent, but the tree
+        // leaf no longer matches the on-chip root chain.
+        let err = m.read_block(b).unwrap_err();
+        assert!(matches!(err, IntegrityError::Tree(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn tree_node_tamper_detected() {
+        let mut m = mem();
+        let b = BlockAddr::new(1);
+        m.write_block(b, &[1u8; 64]).unwrap();
+        let leaf = m.tree().layout().leaf_covering(b.page().index());
+        m.tree_mut().tamper_slot(leaf, 0, 0xDEAD);
+        assert!(matches!(m.read_block(b), Err(IntegrityError::Tree(_))));
+    }
+
+    #[test]
+    fn overflow_reencrypts_page_and_preserves_content() {
+        let mut m = mem();
+        let page = PageNum::new(0);
+        let a = page.block(0);
+        let sibling = page.block(1);
+        m.write_block(sibling, &[0x77u8; 64]).unwrap();
+        for i in 0..(MINOR_LIMIT + 2) {
+            m.write_block(a, &[i as u8; 64]).unwrap();
+        }
+        assert!(m.page_reencryptions() >= 1);
+        assert_eq!(m.read_block(sibling).unwrap(), [0x77u8; 64]);
+        assert_eq!(m.read_block(a).unwrap(), [(MINOR_LIMIT + 1) as u8; 64]);
+    }
+
+    #[test]
+    fn dealloc_forgets_data() {
+        let mut m = mem();
+        let page = PageNum::new(2);
+        m.write_block(page.block(0), &[5u8; 64]).unwrap();
+        m.dealloc_page(page);
+        assert_eq!(
+            m.read_block(page.block(0)),
+            Err(IntegrityError::NotPresent)
+        );
+        // Fresh allocation works again.
+        m.write_block(page.block(0), &[6u8; 64]).unwrap();
+        assert_eq!(m.read_block(page.block(0)).unwrap(), [6u8; 64]);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            IntegrityError::NotPresent,
+            IntegrityError::MacMismatch,
+            IntegrityError::OutOfRange,
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

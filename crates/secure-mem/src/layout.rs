@@ -1,0 +1,281 @@
+//! Static metadata layout of the global secure-memory design.
+//!
+//! Classical secure processors use a *fixed address mapping* (paper Figure 1)
+//! from a data block to its counter block, MAC block, and the integrity-tree
+//! node blocks on its verification path. This module computes that layout:
+//!
+//! ```text
+//! block index space:
+//! [0 .. data_blocks)                         data region
+//! [ctr_base .. ctr_base + pages)             one counter block per 4 KiB page
+//! [mac_base .. mac_base + data_blocks/8)     eight 8 B MACs per MAC block
+//! [tree_base(l) .. )                         tree level l, bottom-up
+//! ```
+//!
+//! Tree geometry: level 1 (leaf) nodes each cover `arity` counter blocks;
+//! level `l+1` nodes each cover `arity` level-`l` nodes; the level with a
+//! single node is the root, which stays on-chip.
+
+use ivl_sim_core::addr::{BlockAddr, PageNum, BLOCKS_PER_PAGE};
+
+/// A tree node position: `(level, index)` with level 1 = leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// Tree level, 1-based from the leaves.
+    pub level: u32,
+    /// Node index within the level.
+    pub index: u64,
+}
+
+/// Static metadata layout for a memory of `data_pages` pages protected by an
+/// `arity`-ary Bonsai Merkle Tree.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_secure_mem::layout::MetadataLayout;
+/// use ivl_sim_core::addr::PageNum;
+///
+/// let l = MetadataLayout::new(64, 8);
+/// assert_eq!(l.levels(), 2); // 64 counter blocks → 8 leaves → 1 root
+/// let ctr = l.counter_block(PageNum::new(3));
+/// assert!(ctr.index() >= 64 * 64); // counters live above the data region
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataLayout {
+    data_pages: u64,
+    arity: u64,
+    /// Node count per level, `level_sizes[0]` = level 1 (leaves).
+    level_sizes: Vec<u64>,
+    /// First block index of each tree level.
+    level_bases: Vec<u64>,
+    ctr_base: u64,
+    mac_base: u64,
+    total_blocks: u64,
+}
+
+impl MetadataLayout {
+    /// Builds the layout for `data_pages` protected pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_pages == 0` or `arity < 2`.
+    pub fn new(data_pages: u64, arity: usize) -> Self {
+        assert!(data_pages > 0, "need at least one page");
+        assert!(arity >= 2, "tree arity must be at least 2");
+        let arity = arity as u64;
+        let data_blocks = data_pages * BLOCKS_PER_PAGE as u64;
+        let ctr_base = data_blocks;
+        let counter_blocks = data_pages; // one 64 B split-counter block per page
+        let mac_base = ctr_base + counter_blocks;
+        let mac_blocks = data_blocks.div_ceil(8); // eight 8 B MACs per block
+        let mut level_sizes = Vec::new();
+        let mut level_bases = Vec::new();
+        let mut next_base = mac_base + mac_blocks;
+        let mut nodes = counter_blocks.div_ceil(arity);
+        loop {
+            level_sizes.push(nodes);
+            level_bases.push(next_base);
+            next_base += nodes;
+            if nodes == 1 {
+                break;
+            }
+            nodes = nodes.div_ceil(arity);
+        }
+        MetadataLayout {
+            data_pages,
+            arity,
+            level_sizes,
+            level_bases,
+            ctr_base,
+            mac_base,
+            total_blocks: next_base,
+        }
+    }
+
+    /// Number of tree levels (root included).
+    pub fn levels(&self) -> u32 {
+        self.level_sizes.len() as u32
+    }
+
+    /// Tree arity.
+    pub fn arity(&self) -> u64 {
+        self.arity
+    }
+
+    /// Number of protected pages.
+    pub fn data_pages(&self) -> u64 {
+        self.data_pages
+    }
+
+    /// Number of nodes at `level` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn level_size(&self, level: u32) -> u64 {
+        self.level_sizes[(level - 1) as usize]
+    }
+
+    /// The counter block of `page`.
+    pub fn counter_block(&self, page: PageNum) -> BlockAddr {
+        debug_assert!(page.index() < self.data_pages);
+        BlockAddr::new(self.ctr_base + page.index())
+    }
+
+    /// The MAC block holding the MAC of data block `block`.
+    pub fn mac_block(&self, block: BlockAddr) -> BlockAddr {
+        BlockAddr::new(self.mac_base + block.index() / 8)
+    }
+
+    /// The block address of tree node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn node_block(&self, node: NodeId) -> BlockAddr {
+        let l = (node.level - 1) as usize;
+        assert!(node.index < self.level_sizes[l], "node out of range");
+        BlockAddr::new(self.level_bases[l] + node.index)
+    }
+
+    /// The leaf (level-1) node covering counter block index `ctr_idx`
+    /// (i.e. page `ctr_idx`).
+    pub fn leaf_covering(&self, ctr_idx: u64) -> NodeId {
+        NodeId {
+            level: 1,
+            index: ctr_idx / self.arity,
+        }
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        if node.level >= self.levels() {
+            None
+        } else {
+            Some(NodeId {
+                level: node.level + 1,
+                index: node.index / self.arity,
+            })
+        }
+    }
+
+    /// The slot within the parent node that holds `node`'s hash.
+    pub fn slot_in_parent(&self, node: NodeId) -> usize {
+        (node.index % self.arity) as usize
+    }
+
+    /// The verification path of page `page`: leaf to root, inclusive.
+    pub fn path_to_root(&self, page: PageNum) -> Vec<NodeId> {
+        let mut path = vec![self.leaf_covering(page.index())];
+        while let Some(parent) = self.parent(*path.last().expect("nonempty")) {
+            path.push(parent);
+        }
+        path
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId {
+            level: self.levels(),
+            index: 0,
+        }
+    }
+
+    /// Total block-index footprint (data + all metadata).
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Fraction of total storage consumed by tree metadata.
+    pub fn tree_overhead(&self) -> f64 {
+        let tree_blocks: u64 = self.level_sizes.iter().sum();
+        tree_blocks as f64 / (self.data_pages * BLOCKS_PER_PAGE as u64) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_counts_power_of_arity() {
+        // 4096 pages, arity 8: 4096 ctr blocks → 512, 64, 8, 1 ⇒ 4 levels.
+        let l = MetadataLayout::new(4096, 8);
+        assert_eq!(l.levels(), 4);
+        assert_eq!(l.level_size(1), 512);
+        assert_eq!(l.level_size(4), 1);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = MetadataLayout::new(128, 8);
+        let data_top = 128 * BLOCKS_PER_PAGE as u64;
+        let ctr = l.counter_block(PageNum::new(0)).index();
+        assert!(ctr >= data_top);
+        let mac = l.mac_block(BlockAddr::new(0)).index();
+        assert!(mac > ctr);
+        let leaf = l.node_block(NodeId { level: 1, index: 0 }).index();
+        assert!(leaf > mac);
+        let root = l.node_block(l.root()).index();
+        assert!(root >= leaf);
+        assert!(root < l.total_blocks());
+    }
+
+    #[test]
+    fn path_walks_to_root() {
+        let l = MetadataLayout::new(4096, 8);
+        let path = l.path_to_root(PageNum::new(4095));
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0].level, 1);
+        assert_eq!(path.last().unwrap(), &l.root());
+        for pair in path.windows(2) {
+            assert_eq!(l.parent(pair[0]), Some(pair[1]));
+        }
+    }
+
+    #[test]
+    fn siblings_share_parents() {
+        let l = MetadataLayout::new(4096, 8);
+        // Pages 0..64 share a leaf? No: leaf covers 8 counter blocks = 8 pages.
+        let a = l.leaf_covering(0);
+        let b = l.leaf_covering(7);
+        let c = l.leaf_covering(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(l.parent(a), l.parent(c)); // 64 pages share a level-2 node
+    }
+
+    #[test]
+    fn slot_in_parent_cycles_mod_arity() {
+        let l = MetadataLayout::new(4096, 8);
+        for i in 0..16 {
+            let n = NodeId { level: 1, index: i };
+            assert_eq!(l.slot_in_parent(n), (i % 8) as usize);
+        }
+    }
+
+    #[test]
+    fn non_power_of_arity_page_count() {
+        let l = MetadataLayout::new(100, 8);
+        // 100 ctr blocks → 13 leaves → 2 → 1.
+        assert_eq!(l.levels(), 3);
+        assert_eq!(l.level_size(1), 13);
+        assert_eq!(l.level_size(2), 2);
+        assert_eq!(l.level_size(3), 1);
+    }
+
+    #[test]
+    fn tree_overhead_is_small() {
+        let l = MetadataLayout::new(1 << 20, 8); // 4 GiB
+        assert!(l.tree_overhead() < 0.01);
+        assert!(l.tree_overhead() > 0.0);
+    }
+
+    #[test]
+    fn thirty_two_gib_has_eight_levels() {
+        // 8 Mi pages (32 GiB): 8M ctr blocks → 1M, 128K, 16K, 2K, 256, 32, 4, 1
+        let l = MetadataLayout::new(8 * 1024 * 1024, 8);
+        assert_eq!(l.levels(), 8);
+    }
+}

@@ -1,0 +1,221 @@
+//! Timing-model interface between the memory controller and an integrity
+//! scheme.
+//!
+//! The multicore simulator funnels every LLC miss (and page allocation /
+//! deallocation event) through an [`IntegritySubsystem`]. A subsystem owns
+//! its metadata caches, knows where metadata lives in memory, issues the
+//! metadata DRAM traffic, and answers with the completion time of the
+//! access. The paper's four evaluated schemes all implement this trait:
+//!
+//! * `Baseline` — [`crate::baseline::GlobalBmtSubsystem`] (global 8-ary BMT);
+//! * IvLeague-Basic / -Invert / -Pro — `ivleague::scheme::IvLeagueSubsystem`.
+//!
+//! A [`NoProtection`] scheme (raw DRAM, no metadata) is provided for
+//! ablation.
+
+use ivl_dram::DramModel;
+use ivl_sim_core::addr::{BlockAddr, PageNum};
+use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::stats::HitMiss;
+use ivl_sim_core::Cycle;
+
+/// Statistics every integrity scheme exposes (superset across schemes;
+/// fields a scheme does not use stay zero).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IvStats {
+    /// Data-block DRAM reads.
+    pub data_reads: u64,
+    /// Data-block DRAM writes.
+    pub data_writes: u64,
+    /// Metadata DRAM reads (counters, MACs, tree nodes, NFL, LMM/page table).
+    pub meta_reads: u64,
+    /// Metadata DRAM writes.
+    pub meta_writes: u64,
+    /// Verifications performed (counter-cache misses on reads).
+    pub verifications: u64,
+    /// Total tree-node blocks fetched from memory across verifications
+    /// (Fig 16's path length = `path_len_sum / verifications`).
+    pub path_len_sum: u64,
+    /// Counter metadata cache behaviour.
+    pub counter_cache: HitMiss,
+    /// Tree metadata cache behaviour.
+    pub tree_cache: HitMiss,
+    /// MAC cache behaviour.
+    pub mac_cache: HitMiss,
+    /// LMM cache behaviour (IvLeague only).
+    pub lmm_cache: HitMiss,
+    /// NFL buffer behaviour (IvLeague only).
+    pub nflb: HitMiss,
+    /// NFL-induced DRAM reads (IvLeague only).
+    pub nfl_mem_reads: u64,
+    /// NFL-induced DRAM writes (IvLeague only).
+    pub nfl_mem_writes: u64,
+    /// Hotpage migrations performed (IvLeague-Pro only).
+    pub hot_migrations: u64,
+    /// Pages demoted out of the hot region (IvLeague-Pro only).
+    pub hot_demotions: u64,
+    /// Page allocations that failed (TreeLing starvation / BV exhaustion).
+    pub alloc_failures: u64,
+    /// Read-walk DRAM fetches by tree level (index 0 = level 1/leaves).
+    pub fetches_by_level: [u64; 8],
+}
+
+impl IvStats {
+    /// Mean verification path length (tree-node memory reads per
+    /// verification).
+    pub fn avg_path_length(&self) -> f64 {
+        if self.verifications == 0 {
+            0.0
+        } else {
+            self.path_len_sum as f64 / self.verifications as f64
+        }
+    }
+
+    /// Total DRAM accesses (data + metadata), the quantity of Fig 19.
+    pub fn total_mem_accesses(&self) -> u64 {
+        self.data_reads + self.data_writes + self.meta_reads + self.meta_writes
+    }
+}
+
+/// An integrity-verification scheme plugged under the memory controller.
+pub trait IntegritySubsystem {
+    /// Handles a data access that missed the LLC. `now` is the issue cycle;
+    /// the return value is the completion cycle of the *critical path* (for
+    /// writes, the cycle at which the write is accepted — write-backs are
+    /// not on the load-use critical path).
+    fn data_access(
+        &mut self,
+        now: Cycle,
+        dram: &mut DramModel,
+        block: BlockAddr,
+        domain: DomainId,
+        is_write: bool,
+    ) -> Cycle;
+
+    /// Handles an OS page allocation into `domain` (first touch).
+    fn page_alloc(
+        &mut self,
+        now: Cycle,
+        dram: &mut DramModel,
+        page: PageNum,
+        domain: DomainId,
+    ) -> Cycle;
+
+    /// Handles an OS page deallocation.
+    fn page_dealloc(
+        &mut self,
+        now: Cycle,
+        dram: &mut DramModel,
+        page: PageNum,
+        domain: DomainId,
+    ) -> Cycle;
+
+    /// Tears down a domain (frees its metadata resources).
+    fn domain_destroyed(&mut self, domain: DomainId) {
+        let _ = domain;
+    }
+
+    /// Scheme statistics so far.
+    fn stats(&self) -> &IvStats;
+
+    /// Clears accumulated statistics (end-of-warmup in the simulator).
+    fn reset_stats(&mut self);
+
+    /// Human-readable scheme name (matches the paper's figure legends).
+    fn name(&self) -> &'static str;
+}
+
+/// A scheme with no memory protection at all: raw DRAM accesses.
+///
+/// Useful as an ablation lower bound; the paper's "Baseline" is the secure
+/// global-tree scheme, not this.
+#[derive(Debug, Default)]
+pub struct NoProtection {
+    stats: IvStats,
+}
+
+impl NoProtection {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        NoProtection::default()
+    }
+}
+
+impl IntegritySubsystem for NoProtection {
+    fn data_access(
+        &mut self,
+        now: Cycle,
+        dram: &mut DramModel,
+        block: BlockAddr,
+        _domain: DomainId,
+        is_write: bool,
+    ) -> Cycle {
+        if is_write {
+            self.stats.data_writes += 1;
+            dram.access(now, block, true);
+            now + 1
+        } else {
+            self.stats.data_reads += 1;
+            dram.access(now, block, false)
+        }
+    }
+
+    fn page_alloc(
+        &mut self,
+        now: Cycle,
+        _dram: &mut DramModel,
+        _page: PageNum,
+        _domain: DomainId,
+    ) -> Cycle {
+        now
+    }
+
+    fn page_dealloc(
+        &mut self,
+        now: Cycle,
+        _dram: &mut DramModel,
+        _page: PageNum,
+        _domain: DomainId,
+    ) -> Cycle {
+        now
+    }
+
+    fn stats(&self) -> &IvStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = IvStats::default();
+    }
+
+    fn name(&self) -> &'static str {
+        "NoProtection"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_sim_core::config::SystemConfig;
+
+    #[test]
+    fn avg_path_length_handles_zero() {
+        let s = IvStats::default();
+        assert_eq!(s.avg_path_length(), 0.0);
+    }
+
+    #[test]
+    fn no_protection_charges_only_dram() {
+        let cfg = SystemConfig::default();
+        let mut dram = DramModel::new(&cfg.dram);
+        let mut s = NoProtection::new();
+        let d = DomainId::new_unchecked(0);
+        let done = s.data_access(0, &mut dram, BlockAddr::new(0), d, false);
+        assert!(done > 0);
+        s.data_access(done, &mut dram, BlockAddr::new(0), d, true);
+        assert_eq!(s.stats().data_reads, 1);
+        assert_eq!(s.stats().data_writes, 1);
+        assert_eq!(s.stats().meta_reads, 0);
+        assert_eq!(s.stats().total_mem_accesses(), 2);
+    }
+}

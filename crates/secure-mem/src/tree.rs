@@ -1,0 +1,291 @@
+//! Functional Bonsai Merkle Tree over counter blocks.
+//!
+//! The tree stores real 64-bit keyed hashes (SipHash-2-4) in `arity`-slot
+//! nodes laid out by [`MetadataLayout`]. A leaf slot holds the hash of one
+//! counter block; an interior slot holds the hash of one child node; the
+//! hash of the root node is pinned on-chip. Any modification of in-memory
+//! metadata therefore breaks the chain to the on-chip root and is detected
+//! on the next verification (paper Section II-B).
+
+use std::collections::HashMap;
+
+use ivl_crypto::siphash::{siphash24, SipKey};
+use ivl_sim_core::addr::PageNum;
+
+use crate::counters::CounterBlock;
+use crate::layout::{MetadataLayout, NodeId};
+
+/// Where a verification failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The leaf slot does not match the counter block's hash.
+    LeafMismatch {
+        /// Offending page.
+        page: PageNum,
+    },
+    /// An interior node's hash does not match its parent's slot.
+    NodeMismatch {
+        /// Node whose recomputed hash disagreed with the parent slot.
+        node: NodeId,
+    },
+    /// The root node's hash does not match the on-chip root.
+    RootMismatch,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::LeafMismatch { page } => {
+                write!(f, "integrity tree leaf mismatch for {page}")
+            }
+            VerifyError::NodeMismatch { node } => write!(
+                f,
+                "integrity tree node mismatch at level {} index {}",
+                node.level, node.index
+            ),
+            VerifyError::RootMismatch => write!(f, "integrity tree root mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A functional hash tree with the on-chip root.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_secure_mem::{counters::CounterBlock, layout::MetadataLayout, tree::MerkleTree};
+/// use ivl_sim_core::addr::PageNum;
+///
+/// let layout = MetadataLayout::new(64, 8);
+/// let mut tree = MerkleTree::new(layout, [0u8; 16]);
+/// let cb = CounterBlock::default();
+/// tree.update_page(PageNum::new(3), &cb);
+/// assert!(tree.verify_page(PageNum::new(3), &cb).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    layout: MetadataLayout,
+    key: SipKey,
+    /// Sparse node contents; absent nodes read as all-zero slot arrays.
+    nodes: HashMap<NodeId, Vec<u64>>,
+    /// On-chip copy of the root node's hash.
+    root_hash: u64,
+}
+
+impl MerkleTree {
+    /// Creates an empty tree for `layout` keyed with `key`.
+    pub fn new(layout: MetadataLayout, key: [u8; 16]) -> Self {
+        let key = SipKey::from_bytes(key);
+        let mut tree = MerkleTree {
+            layout,
+            key,
+            nodes: HashMap::new(),
+            root_hash: 0,
+        };
+        tree.root_hash = tree.node_hash(tree.layout.root());
+        tree
+    }
+
+    /// The layout this tree was built over.
+    pub fn layout(&self) -> &MetadataLayout {
+        &self.layout
+    }
+
+    fn slots(&self, node: NodeId) -> Vec<u64> {
+        self.nodes
+            .get(&node)
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.layout.arity() as usize])
+    }
+
+    /// Keyed hash of a counter block, bound to its page.
+    pub fn counter_hash(&self, page: PageNum, cb: &CounterBlock) -> u64 {
+        let mut msg = Vec::with_capacity(80);
+        msg.extend_from_slice(&page.index().to_le_bytes());
+        msg.extend_from_slice(&cb.to_bytes());
+        siphash24(self.key, &msg)
+    }
+
+    /// Keyed hash of a node's current content, bound to its position.
+    pub fn node_hash(&self, node: NodeId) -> u64 {
+        let slots = self.slots(node);
+        let mut msg = Vec::with_capacity(16 + slots.len() * 8);
+        msg.extend_from_slice(&(node.level as u64).to_le_bytes());
+        msg.extend_from_slice(&node.index.to_le_bytes());
+        for s in &slots {
+            msg.extend_from_slice(&s.to_le_bytes());
+        }
+        siphash24(self.key, &msg)
+    }
+
+    fn set_slot(&mut self, node: NodeId, slot: usize, value: u64) {
+        let arity = self.layout.arity() as usize;
+        let slots = self
+            .nodes
+            .entry(node)
+            .or_insert_with(|| vec![0; arity]);
+        slots[slot] = value;
+    }
+
+    /// Records the new hash of `page`'s counter block and refreshes the
+    /// path up to the on-chip root.
+    pub fn update_page(&mut self, page: PageNum, cb: &CounterBlock) {
+        let h = self.counter_hash(page, cb);
+        let leaf = self.layout.leaf_covering(page.index());
+        let slot = (page.index() % self.layout.arity()) as usize;
+        self.set_slot(leaf, slot, h);
+
+        let mut node = leaf;
+        while let Some(parent) = self.layout.parent(node) {
+            let nh = self.node_hash(node);
+            let pslot = self.layout.slot_in_parent(node);
+            self.set_slot(parent, pslot, nh);
+            node = parent;
+        }
+        self.root_hash = self.node_hash(self.layout.root());
+    }
+
+    /// Verifies `page`'s counter block against the on-chip root.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch found while walking leaf → root.
+    pub fn verify_page(&self, page: PageNum, cb: &CounterBlock) -> Result<(), VerifyError> {
+        let h = self.counter_hash(page, cb);
+        let leaf = self.layout.leaf_covering(page.index());
+        let slot = (page.index() % self.layout.arity()) as usize;
+        if self.slots(leaf)[slot] != h {
+            return Err(VerifyError::LeafMismatch { page });
+        }
+        let mut node = leaf;
+        while let Some(parent) = self.layout.parent(node) {
+            let nh = self.node_hash(node);
+            if self.slots(parent)[self.layout.slot_in_parent(node)] != nh {
+                return Err(VerifyError::NodeMismatch { node });
+            }
+            node = parent;
+        }
+        if self.node_hash(self.layout.root()) != self.root_hash {
+            return Err(VerifyError::RootMismatch);
+        }
+        Ok(())
+    }
+
+    /// Tampers with an in-memory node slot (attack modeling / tests).
+    pub fn tamper_slot(&mut self, node: NodeId, slot: usize, xor: u64) {
+        let arity = self.layout.arity() as usize;
+        let slots = self
+            .nodes
+            .entry(node)
+            .or_insert_with(|| vec![0; arity]);
+        slots[slot] ^= xor;
+    }
+
+    /// Raw slot values of a node (inspection in tests).
+    pub fn node_slots(&self, node: NodeId) -> Vec<u64> {
+        self.slots(node)
+    }
+
+    /// The on-chip root hash.
+    pub fn root_hash(&self) -> u64 {
+        self.root_hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> MerkleTree {
+        MerkleTree::new(MetadataLayout::new(4096, 8), [7u8; 16])
+    }
+
+    fn cb(v: u8) -> CounterBlock {
+        let mut c = CounterBlock::default();
+        c.minors[0] = v;
+        c
+    }
+
+    #[test]
+    fn update_then_verify() {
+        let mut t = tree();
+        t.update_page(PageNum::new(10), &cb(1));
+        assert!(t.verify_page(PageNum::new(10), &cb(1)).is_ok());
+    }
+
+    #[test]
+    fn stale_counter_block_is_rejected() {
+        let mut t = tree();
+        t.update_page(PageNum::new(10), &cb(1));
+        t.update_page(PageNum::new(10), &cb(2));
+        assert_eq!(
+            t.verify_page(PageNum::new(10), &cb(1)),
+            Err(VerifyError::LeafMismatch {
+                page: PageNum::new(10)
+            })
+        );
+    }
+
+    #[test]
+    fn sibling_updates_do_not_break_verification() {
+        let mut t = tree();
+        t.update_page(PageNum::new(0), &cb(1));
+        t.update_page(PageNum::new(1), &cb(2)); // same leaf node
+        t.update_page(PageNum::new(100), &cb(3)); // different subtree
+        assert!(t.verify_page(PageNum::new(0), &cb(1)).is_ok());
+        assert!(t.verify_page(PageNum::new(1), &cb(2)).is_ok());
+        assert!(t.verify_page(PageNum::new(100), &cb(3)).is_ok());
+    }
+
+    #[test]
+    fn tampered_leaf_detected() {
+        let mut t = tree();
+        t.update_page(PageNum::new(5), &cb(1));
+        let leaf = t.layout().leaf_covering(5);
+        t.tamper_slot(leaf, 5 % 8, 0x1);
+        assert!(matches!(
+            t.verify_page(PageNum::new(5), &cb(1)),
+            Err(VerifyError::LeafMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_interior_node_detected() {
+        let mut t = tree();
+        t.update_page(PageNum::new(5), &cb(1));
+        let leaf = t.layout().leaf_covering(5);
+        let l2 = t.layout().parent(leaf).unwrap();
+        t.tamper_slot(l2, t.layout().slot_in_parent(leaf), 0xFF);
+        assert!(matches!(
+            t.verify_page(PageNum::new(5), &cb(1)),
+            Err(VerifyError::NodeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn root_hash_changes_with_updates() {
+        let mut t = tree();
+        let r0 = t.root_hash();
+        t.update_page(PageNum::new(0), &cb(1));
+        assert_ne!(t.root_hash(), r0);
+    }
+
+    #[test]
+    fn keys_bind_tree_identity() {
+        let layout = MetadataLayout::new(64, 8);
+        let a = MerkleTree::new(layout.clone(), [1u8; 16]);
+        let b = MerkleTree::new(layout, [2u8; 16]);
+        assert_ne!(
+            a.counter_hash(PageNum::new(0), &CounterBlock::default()),
+            b.counter_hash(PageNum::new(0), &CounterBlock::default())
+        );
+    }
+
+    #[test]
+    fn verify_error_displays() {
+        let e = VerifyError::RootMismatch;
+        assert!(!format!("{e}").is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Property tests on the static metadata layout: regions never overlap and
+//! verification paths are structurally sound for arbitrary memory sizes.
+
+use ivl_secure_mem::layout::MetadataLayout;
+use ivl_sim_core::addr::{BlockAddr, PageNum, BLOCKS_PER_PAGE};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn metadata_regions_disjoint(pages in 1u64..200_000, arity in 2usize..17) {
+        let l = MetadataLayout::new(pages, arity);
+        let data_top = pages * BLOCKS_PER_PAGE as u64;
+        // Counters above data, MACs above counters, tree above MACs.
+        let ctr0 = l.counter_block(PageNum::new(0)).index();
+        let ctr_top = l.counter_block(PageNum::new(pages - 1)).index();
+        prop_assert!(ctr0 >= data_top);
+        let mac0 = l.mac_block(BlockAddr::new(0)).index();
+        let mac_top = l.mac_block(BlockAddr::new(data_top - 1)).index();
+        prop_assert!(mac0 > ctr_top);
+        let leaf = l.node_block(l.leaf_covering(0)).index();
+        prop_assert!(leaf > mac_top);
+        prop_assert!(l.node_block(l.root()).index() < l.total_blocks());
+    }
+
+    #[test]
+    fn path_is_monotone_and_rooted(pages in 1u64..200_000, arity in 2usize..17, p in any::<u64>()) {
+        let l = MetadataLayout::new(pages, arity);
+        let page = PageNum::new(p % pages);
+        let path = l.path_to_root(page);
+        prop_assert_eq!(path.len() as u32, l.levels());
+        for w in path.windows(2) {
+            prop_assert_eq!(l.parent(w[0]), Some(w[1]));
+            prop_assert!(w[1].level == w[0].level + 1);
+        }
+        prop_assert_eq!(*path.last().unwrap(), l.root());
+    }
+
+    #[test]
+    fn pages_sharing_a_leaf_are_arity_adjacent(pages in 100u64..50_000, arity in 2usize..17) {
+        let l = MetadataLayout::new(pages, arity);
+        let a = l.leaf_covering(0);
+        let b = l.leaf_covering(arity as u64 - 1);
+        let c = l.leaf_covering(arity as u64);
+        prop_assert_eq!(a, b);
+        prop_assert!(a != c);
+    }
+}

@@ -1,0 +1,214 @@
+//! Physical address geometry: 64-byte cache blocks and 4-KiB pages.
+//!
+//! All memory-system models in the workspace operate on [`BlockAddr`]s
+//! (cache-line granularity) and [`PageNum`]s (OS page granularity). A raw
+//! byte address is a [`PhysAddr`]. The newtypes make it impossible to confuse
+//! a block index with a byte address or a page frame number.
+
+use std::fmt;
+
+/// Bytes per cache block / memory line (the paper's 64 B blocks).
+pub const BLOCK_BYTES: usize = 64;
+/// Bytes per OS page (4 KiB).
+pub const PAGE_BYTES: usize = 4096;
+/// Cache blocks per page.
+pub const BLOCKS_PER_PAGE: usize = PAGE_BYTES / BLOCK_BYTES;
+
+const BLOCK_SHIFT: u32 = BLOCK_BYTES.trailing_zeros();
+const PAGE_SHIFT: u32 = PAGE_BYTES.trailing_zeros();
+
+/// A raw physical byte address.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sim_core::addr::PhysAddr;
+/// let a = PhysAddr::new(0x1040);
+/// assert_eq!(a.block().index(), 0x41);
+/// assert_eq!(a.page().index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// The raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache block containing this address.
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// The page containing this address.
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the containing block.
+    pub const fn block_offset(self) -> usize {
+        (self.0 & (BLOCK_BYTES as u64 - 1)) as usize
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+/// A cache-block (64 B line) index in physical memory.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sim_core::addr::{BlockAddr, BLOCKS_PER_PAGE};
+/// let b = BlockAddr::new(130);
+/// assert_eq!(b.page().index(), 130 / BLOCKS_PER_PAGE as u64);
+/// assert_eq!(b.page_offset(), 130 % BLOCKS_PER_PAGE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a block index.
+    pub const fn new(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// The block index (byte address divided by [`BLOCK_BYTES`]).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of this block.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << BLOCK_SHIFT)
+    }
+
+    /// The page containing this block.
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 >> (PAGE_SHIFT - BLOCK_SHIFT))
+    }
+
+    /// Index of this block within its page (`0..BLOCKS_PER_PAGE`).
+    pub const fn page_offset(self) -> usize {
+        (self.0 & (BLOCKS_PER_PAGE as u64 - 1)) as usize
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:{:#x}", self.0)
+    }
+}
+
+/// A physical page frame number.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sim_core::addr::PageNum;
+/// let p = PageNum::new(7);
+/// assert_eq!(p.block(3).index(), 7 * 64 + 3);
+/// assert_eq!(p.base().raw(), 7 * 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNum(u64);
+
+impl PageNum {
+    /// Creates a page number from a frame index.
+    pub const fn new(index: u64) -> Self {
+        PageNum(index)
+    }
+
+    /// The page frame index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of this page.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The `offset`-th cache block of this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= BLOCKS_PER_PAGE` (debug builds).
+    pub fn block(self, offset: usize) -> BlockAddr {
+        debug_assert!(offset < BLOCKS_PER_PAGE, "block offset out of page");
+        BlockAddr((self.0 << (PAGE_SHIFT - BLOCK_SHIFT)) + offset as u64)
+    }
+
+    /// Iterator over all cache blocks of this page.
+    pub fn blocks(self) -> impl Iterator<Item = BlockAddr> {
+        let first = self.0 << (PAGE_SHIFT - BLOCK_SHIFT);
+        (first..first + BLOCKS_PER_PAGE as u64).map(BlockAddr)
+    }
+}
+
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_and_page_round_trip() {
+        let a = PhysAddr::new(0xdead_beef);
+        let b = a.block();
+        assert_eq!(b.base().raw(), a.raw() & !(BLOCK_BYTES as u64 - 1));
+        assert_eq!(b.page(), a.page());
+        assert_eq!(a.page().base().raw(), a.raw() & !(PAGE_BYTES as u64 - 1));
+    }
+
+    #[test]
+    fn page_block_indexing() {
+        let p = PageNum::new(10);
+        for (i, b) in p.blocks().enumerate() {
+            assert_eq!(b.page(), p);
+            assert_eq!(b.page_offset(), i);
+            assert_eq!(p.block(i), b);
+        }
+        assert_eq!(p.blocks().count(), BLOCKS_PER_PAGE);
+    }
+
+    #[test]
+    fn block_offset_within_block() {
+        let a = PhysAddr::new(64 * 5 + 17);
+        assert_eq!(a.block().index(), 5);
+        assert_eq!(a.block_offset(), 17);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", PhysAddr::new(0)).is_empty());
+        assert!(!format!("{}", BlockAddr::new(0)).is_empty());
+        assert!(!format!("{}", PageNum::new(0)).is_empty());
+    }
+
+    #[test]
+    fn geometry_constants_consistent() {
+        assert_eq!(BLOCKS_PER_PAGE * BLOCK_BYTES, PAGE_BYTES);
+        assert!(BLOCK_BYTES.is_power_of_two());
+        assert!(PAGE_BYTES.is_power_of_two());
+    }
+}

@@ -1,0 +1,89 @@
+//! Integrity-verification (IV) domain identifiers.
+//!
+//! IvLeague provisions at most `2^12` concurrent IV domains, matching the
+//! 12-bit process-context identifiers of contemporary hardware
+//! (paper Section VI-D1).
+
+use std::fmt;
+
+/// Maximum number of concurrently supported IV domains (`2^12`).
+pub const MAX_DOMAINS: usize = 1 << 12;
+
+/// Identifier of an integrity-verification domain (e.g. one enclave).
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sim_core::domain::DomainId;
+/// let d = DomainId::new(3).unwrap();
+/// assert_eq!(d.index(), 3);
+/// assert!(DomainId::new(4096).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(u16);
+
+impl DomainId {
+    /// Creates a domain id, returning `None` if `id` exceeds the
+    /// architectural limit of [`MAX_DOMAINS`].
+    pub fn new(id: u16) -> Option<Self> {
+        if (id as usize) < MAX_DOMAINS {
+            Some(DomainId(id))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a domain id without range checking.
+    ///
+    /// Useful in tests and tight loops where the range is known.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if out of range.
+    pub fn new_unchecked(id: u16) -> Self {
+        debug_assert!((id as usize) < MAX_DOMAINS);
+        DomainId(id)
+    }
+
+    /// The numeric index of this domain.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+impl From<DomainId> for u16 {
+    fn from(d: DomainId) -> u16 {
+        d.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_enforced() {
+        assert!(DomainId::new(0).is_some());
+        assert!(DomainId::new((MAX_DOMAINS - 1) as u16).is_some());
+        assert!(DomainId::new(MAX_DOMAINS as u16).is_none());
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        let a = DomainId::new(1).unwrap();
+        let b = DomainId::new(2).unwrap();
+        assert!(a < b);
+        assert_eq!(u16::from(a), 1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(format!("{}", DomainId::new(5).unwrap()), "D5");
+    }
+}

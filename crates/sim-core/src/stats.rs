@@ -1,0 +1,317 @@
+//! Lightweight statistics primitives used by all models.
+//!
+//! The simulator deliberately avoids global registries: each component owns
+//! its own counters and exposes them through accessor methods, which keeps
+//! the models testable in isolation.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sim_core::stats::Counter;
+/// let mut c = Counter::new();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Hit/miss ratio tracker (caches, predictors, buffers).
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sim_core::stats::HitMiss;
+/// let mut h = HitMiss::new();
+/// h.hit();
+/// h.hit();
+/// h.miss();
+/// assert!((h.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitMiss {
+    hits: u64,
+    misses: u64,
+}
+
+impl HitMiss {
+    /// Creates a zeroed tracker.
+    pub const fn new() -> Self {
+        HitMiss { hits: 0, misses: 0 }
+    }
+
+    /// Records a hit.
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records either, from a boolean outcome.
+    pub fn record(&mut self, was_hit: bool) {
+        if was_hit {
+            self.hit();
+        } else {
+            self.miss();
+        }
+    }
+
+    /// Total hits.
+    pub const fn hits(self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses.
+    pub const fn misses(self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses.
+    pub const fn total(self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when no accesses were recorded.
+    pub fn hit_rate(self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Running mean over `f64` samples (Welford-free: sum + count is enough for
+/// the magnitudes involved here).
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sim_core::stats::RunningMean;
+/// let mut m = RunningMean::new();
+/// m.push(1.0);
+/// m.push(3.0);
+/// assert_eq!(m.mean(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        RunningMean { sum: 0.0, count: 0 }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, sample: f64) {
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// Number of samples.
+    pub const fn count(self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples; `0` when empty.
+    pub fn mean(self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sum of samples.
+    pub const fn sum(self) -> f64 {
+        self.sum
+    }
+}
+
+/// A fixed-width histogram over `u32` samples, saturating at the last bin.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sim_core::stats::Histogram;
+/// let mut h = Histogram::new(4);
+/// h.push(0);
+/// h.push(2);
+/// h.push(99); // saturates into the last bin
+/// assert_eq!(h.bin(3), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` buckets (sample `i` lands in bin `i`,
+    /// anything `>= bins` in the last bin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            bins: vec![0; bins],
+        }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, sample: u32) {
+        let idx = (sample as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `true` when no bins exist (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Mean of the recorded samples (using bin index as value).
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+}
+
+/// Geometric mean of a slice of positive values; `0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_sim_core::stats::gmean;
+/// assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+pub fn gmean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn hitmiss_rates() {
+        let mut h = HitMiss::new();
+        assert_eq!(h.hit_rate(), 0.0);
+        h.record(true);
+        h.record(false);
+        h.record(false);
+        assert_eq!(h.hits(), 1);
+        assert_eq!(h.misses(), 2);
+        assert!((h.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_mean_empty_is_zero() {
+        assert_eq!(RunningMean::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_saturates_and_means() {
+        let mut h = Histogram::new(3);
+        h.push(0);
+        h.push(1);
+        h.push(5);
+        assert_eq!(h.bin(2), 1);
+        assert_eq!(h.total(), 3);
+        assert!((h.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_matches_hand_computation() {
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(gmean(&[]), 0.0);
+        let single = gmean(&[3.5]);
+        assert!((single - 3.5).abs() < 1e-12);
+    }
+}

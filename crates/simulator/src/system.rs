@@ -1,0 +1,561 @@
+//! The multicore engine and per-mix runner.
+
+use ivl_cache::randomized::RandomizedCache;
+use ivl_cache::set_assoc::SetAssocCache;
+use ivl_cache::CacheModel;
+use ivl_dram::DramModel;
+use ivl_secure_mem::baseline::GlobalBmtSubsystem;
+use ivl_secure_mem::subsystem::{IntegritySubsystem, IvStats, NoProtection};
+use ivl_sim_core::config::{IvVariant, SystemConfig};
+use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::Cycle;
+use ivl_workloads::mixes::Mix;
+use ivl_workloads::trace::{MemEvent, TraceGenerator};
+use ivleague::scheme::{AllocatorKind, IvLeagueSubsystem};
+
+/// The schemes the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Secure global Bonsai Merkle Tree (the paper's Baseline).
+    Baseline,
+    /// IvLeague with leaf-only mapping.
+    IvBasic,
+    /// IvLeague with top-down intermediate-node mapping.
+    IvInvert,
+    /// IvLeague-Invert plus the hotpage region.
+    IvPro,
+    /// IvLeague with the naive current-TreeLing bit-vector allocator.
+    BvV1,
+    /// IvLeague with the naive cross-TreeLing bit-vector allocator.
+    BvV2,
+    /// No memory protection (ablation floor).
+    Insecure,
+}
+
+impl SchemeKind {
+    /// The four schemes of Figures 15/16/18/19, in legend order.
+    pub const MAIN: [SchemeKind; 4] = [
+        SchemeKind::Baseline,
+        SchemeKind::IvBasic,
+        SchemeKind::IvInvert,
+        SchemeKind::IvPro,
+    ];
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Baseline => "Baseline",
+            SchemeKind::IvBasic => "IvLeague-Basic",
+            SchemeKind::IvInvert => "IvLeague-Invert",
+            SchemeKind::IvPro => "IvLeague-Pro",
+            SchemeKind::BvV1 => "BV-v1",
+            SchemeKind::BvV2 => "BV-v2",
+            SchemeKind::Insecure => "NoProtection",
+        }
+    }
+
+    /// Builds the integrity subsystem for this scheme.
+    pub fn build(self, cfg: &SystemConfig) -> SchemeInstance {
+        match self {
+            SchemeKind::Baseline => SchemeInstance::Baseline(GlobalBmtSubsystem::new(
+                &cfg.secure,
+                cfg.total_pages(),
+            )),
+            SchemeKind::IvBasic => SchemeInstance::Iv(IvLeagueSubsystem::new(
+                cfg,
+                IvVariant::Basic,
+                AllocatorKind::Nfl,
+            )),
+            SchemeKind::IvInvert => SchemeInstance::Iv(IvLeagueSubsystem::new(
+                cfg,
+                IvVariant::Invert,
+                AllocatorKind::Nfl,
+            )),
+            SchemeKind::IvPro => SchemeInstance::Iv(IvLeagueSubsystem::new(
+                cfg,
+                IvVariant::Pro,
+                AllocatorKind::Nfl,
+            )),
+            SchemeKind::BvV1 => SchemeInstance::Iv(IvLeagueSubsystem::new(
+                cfg,
+                IvVariant::Pro,
+                AllocatorKind::BvV1,
+            )),
+            SchemeKind::BvV2 => SchemeInstance::Iv(IvLeagueSubsystem::new(
+                cfg,
+                IvVariant::Pro,
+                AllocatorKind::BvV2,
+            )),
+            SchemeKind::Insecure => SchemeInstance::None(NoProtection::new()),
+        }
+    }
+}
+
+/// A concrete scheme instance; an enum (rather than `Box<dyn …>`) so the
+/// runner can reach scheme-specific state (forest utilization) afterwards.
+#[derive(Debug)]
+pub enum SchemeInstance {
+    /// Global-BMT baseline.
+    Baseline(GlobalBmtSubsystem),
+    /// Any IvLeague variant/allocator.
+    Iv(IvLeagueSubsystem),
+    /// No protection.
+    None(NoProtection),
+}
+
+impl SchemeInstance {
+    fn as_subsystem(&mut self) -> &mut dyn IntegritySubsystem {
+        match self {
+            SchemeInstance::Baseline(s) => s,
+            SchemeInstance::Iv(s) => s,
+            SchemeInstance::None(s) => s,
+        }
+    }
+
+    fn stats(&self) -> &IvStats {
+        match self {
+            SchemeInstance::Baseline(s) => s.stats(),
+            SchemeInstance::Iv(s) => s.stats(),
+            SchemeInstance::None(s) => s.stats(),
+        }
+    }
+}
+
+/// Run lengths and seed of one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Memory accesses per core discarded as warmup (after the footprint
+    /// ramp completes; the ramp itself is also warmup).
+    pub warmup_accesses: u64,
+    /// Memory accesses per core measured.
+    pub measure_accesses: u64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The configuration the figure harness uses.
+    pub fn evaluation() -> Self {
+        RunConfig {
+            warmup_accesses: 100_000,
+            measure_accesses: 400_000,
+            seed: 2024,
+        }
+    }
+
+    /// A tiny configuration for unit/integration tests.
+    pub fn smoke_test() -> Self {
+        RunConfig {
+            warmup_accesses: 2_000,
+            measure_accesses: 10_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-core measurement.
+#[derive(Debug, Clone)]
+pub struct CoreResult {
+    /// Benchmark running on this core.
+    pub benchmark: &'static str,
+    /// Retired instructions in the measurement window.
+    pub instrs: u64,
+    /// Cycles in the measurement window.
+    pub cycles: Cycle,
+    /// Memory-idle IPC of this benchmark (normalization constant).
+    pub base_ipc: f64,
+}
+
+impl CoreResult {
+    /// Achieved IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// IPC normalized to the benchmark's memory-idle IPC.
+    pub fn relative_ipc(&self) -> f64 {
+        self.ipc() / self.base_ipc
+    }
+}
+
+/// Result of one (mix, scheme) simulation.
+#[derive(Debug, Clone)]
+pub struct MixResult {
+    /// Mix name ("S-1" …).
+    pub mix: &'static str,
+    /// Scheme that ran.
+    pub scheme: SchemeKind,
+    /// Per-core results.
+    pub cores: Vec<CoreResult>,
+    /// Integrity-subsystem statistics over the measurement window.
+    pub stats: IvStats,
+    /// Per-benchmark average verification path lengths cannot be split out
+    /// of the shared subsystem, so path length is reported mix-wide.
+    pub avg_path_length: f64,
+    /// Whether any page allocation failed (BV-v1 exhaustion → "✗").
+    pub failed: bool,
+    /// Forest utilization statistics (NFL runs only).
+    pub utilization: Option<f64>,
+    /// Untracked slots at end of run (NFL runs only).
+    pub untracked_slots: Option<u64>,
+    /// Slots leaked by the naive BV-v1 allocator (BV runs only).
+    pub bv_leaked_slots: Option<u64>,
+    /// Bit-vector blocks scanned by the naive allocators (BV runs only).
+    pub bv_blocks_scanned: Option<u64>,
+    /// LLC-missing data reads observed in the measurement window.
+    pub llc_miss_reads: u64,
+    /// Sum of their critical-path latencies (cycles).
+    pub read_latency_sum: u64,
+    /// Memory accesses issued by the cores in the measurement window.
+    pub core_accesses: u64,
+}
+
+impl MixResult {
+    /// Mean LLC-miss read latency.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.llc_miss_reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.llc_miss_reads as f64
+        }
+    }
+}
+
+impl MixResult {
+    /// Weighted IPC: mean of per-core IPCs normalized to each benchmark's
+    /// memory-idle IPC (the per-benchmark constant plays the role of the
+    /// alone-run IPC in the classical weighted-speedup metric; it cancels
+    /// in the scheme-vs-Baseline ratios the figures report).
+    pub fn weighted_ipc(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        self.cores.iter().map(CoreResult::relative_ipc).sum::<f64>() / self.cores.len() as f64
+    }
+}
+
+struct Core {
+    /// Index into the per-process generator table (threads of a process
+    /// share one generator: one heap, one footprint).
+    gen: usize,
+    domain: DomainId,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    /// Local clock.
+    now: Cycle,
+    /// Instructions retired since measurement start.
+    instrs: u64,
+    /// Memory accesses seen since warmup start (for phase control).
+    accesses: u64,
+    /// Measurement-window start time.
+    measure_start: Cycle,
+    measure_instrs_start: u64,
+    benchmark: &'static str,
+    base_ipc: f64,
+    mlp: f64,
+    inv_ipc: f64,
+}
+
+/// Runs one mix under one scheme.
+pub fn run_mix(mix: &Mix, scheme_kind: SchemeKind, run: &RunConfig) -> MixResult {
+    let cfg = SystemConfig::default();
+    run_mix_with_config(mix, scheme_kind, run, &cfg)
+}
+
+/// Runs one mix under one scheme with an explicit system configuration
+/// (used by the sensitivity studies of Figure 20).
+pub fn run_mix_with_config(
+    mix: &Mix,
+    scheme_kind: SchemeKind,
+    run: &RunConfig,
+    cfg: &SystemConfig,
+) -> MixResult {
+    let mut scheme = scheme_kind.build(cfg);
+    let mut dram = DramModel::new(&cfg.dram);
+    let mut llc = RandomizedCache::with_geometry(
+        cfg.llc.cache.capacity_bytes,
+        cfg.llc.cache.ways,
+        cfg.llc.cache.line_bytes,
+        run.seed ^ 0x11C,
+    );
+
+    // Lay the four processes out in disjoint quarters of physical memory;
+    // worker threads of a process share its heap (one generator).
+    let threads = mix.class.threads_per_process();
+    let total_pages = cfg.total_pages();
+    let proc_range = total_pages / 4;
+    let mut gens: Vec<TraceGenerator> = Vec::new();
+    let mut cores: Vec<Core> = Vec::new();
+    for (pi, profile) in mix.profiles().into_iter().enumerate() {
+        let domain = DomainId::new_unchecked(pi as u16 + 1);
+        let base = pi as u64 * proc_range;
+        gens.push(TraceGenerator::with_footprint(
+            profile,
+            domain,
+            base,
+            run.seed.wrapping_mul(31).wrapping_add(pi as u64),
+            profile.footprint_pages(),
+            proc_range.next_power_of_two() / 2,
+        ));
+        for _ti in 0..threads {
+            cores.push(Core {
+                gen: pi,
+                domain,
+                l1: SetAssocCache::with_geometry(
+                    cfg.core.l1.capacity_bytes,
+                    cfg.core.l1.ways,
+                    cfg.core.l1.line_bytes,
+                ),
+                l2: SetAssocCache::with_geometry(
+                    cfg.core.l2.capacity_bytes,
+                    cfg.core.l2.ways,
+                    cfg.core.l2.line_bytes,
+                ),
+                now: 0,
+                instrs: 0,
+                accesses: 0,
+                measure_start: 0,
+                measure_instrs_start: 0,
+                benchmark: profile.name,
+                base_ipc: profile.base_ipc,
+                mlp: profile.mlp,
+                inv_ipc: 1.0 / profile.base_ipc,
+            });
+        }
+    }
+
+    let warmup_total = run.warmup_accesses;
+    let measure_total = warmup_total + run.measure_accesses;
+    let mut measuring = false;
+    let mut llc_miss_reads = 0u64;
+    let mut read_latency_sum = 0u64;
+    let mut core_accesses = 0u64;
+
+    loop {
+        // Least-advanced core executes next (loose global ordering).
+        let (idx, _) = cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.accesses < measure_total)
+            .min_by_key(|(_, c)| c.now)
+            .map(|(i, c)| (i, c.now))
+            .unwrap_or((usize::MAX, 0));
+        if idx == usize::MAX {
+            break;
+        }
+
+        // Flip to the measurement window once every core leaves warmup and
+        // its footprint is resident.
+        if std::env::var("IVL_DEBUG_WARM").is_ok() && !measuring {
+            let states: Vec<String> = cores
+                .iter()
+                .map(|c| format!("{}:{}", c.benchmark, c.accesses))
+                .collect();
+            if cores[0].accesses % 100_000 == 0 && cores[0].accesses > 0 {
+                eprintln!("warm? {}", states.join(" "));
+            }
+        }
+        if !measuring
+            && cores.iter().all(|c| c.accesses >= warmup_total)
+            && gens.iter().all(TraceGenerator::warmed_up)
+        {
+            measuring = true;
+            scheme.as_subsystem().reset_stats();
+            for c in &mut cores {
+                c.measure_start = c.now;
+                c.measure_instrs_start = c.instrs;
+            }
+        }
+
+        let core = &mut cores[idx];
+        match gens[core.gen].next_event() {
+            MemEvent::Access {
+                block,
+                is_write,
+                gap_instrs,
+            } => {
+                core.accesses += 1;
+                if measuring {
+                    core_accesses += 1;
+                }
+                core.instrs += gap_instrs;
+                core.now += (gap_instrs as f64 * core.inv_ipc) as Cycle;
+
+                // The trace models post-L1 traffic (see ivl-workloads):
+                // the first hierarchy level consulted is the private L2.
+                let key = block.index();
+                core.now += cfg.core.l2.hit_latency;
+                let l2 = core.l2.access(key, is_write);
+                if l2.hit {
+                    continue;
+                }
+                let mut llc_writebacks: Vec<u64> = Vec::new();
+                if let Some(e) = l2.evicted.filter(|e| e.dirty) {
+                    llc_writebacks.push(e.key);
+                }
+                core.now += cfg.llc.cache.hit_latency - cfg.core.l2.hit_latency;
+                let llc_out = llc.access(key, is_write);
+                let llc_hit = llc_out.hit;
+                if let Some(e) = llc_out.evicted.filter(|e| e.dirty) {
+                    // LLC dirty eviction: secure write-back to memory.
+                    scheme.as_subsystem().data_access(
+                        core.now,
+                        &mut dram,
+                        ivl_sim_core::addr::BlockAddr::new(e.key),
+                        core.domain,
+                        true,
+                    );
+                }
+                for wb in llc_writebacks {
+                    let out = llc.access(wb, true);
+                    if let Some(e) = out.evicted.filter(|e| e.dirty) {
+                        scheme.as_subsystem().data_access(
+                            core.now,
+                            &mut dram,
+                            ivl_sim_core::addr::BlockAddr::new(e.key),
+                            core.domain,
+                            true,
+                        );
+                    }
+                }
+                if llc_hit {
+                    continue;
+                }
+                // LLC miss: the secure memory path.
+                let done = scheme.as_subsystem().data_access(core.now, &mut dram, block, core.domain, is_write);
+                let latency = done.saturating_sub(core.now);
+                if measuring && !is_write {
+                    llc_miss_reads += 1;
+                    read_latency_sum += latency;
+                }
+                // MLP hides service latency but not bandwidth queueing:
+                // split the observed latency into a service portion (capped)
+                // that overlaps across outstanding misses, and a queueing
+                // remainder that throttles the core at full weight.
+                let service = latency.min(400);
+                let queueing = latency - service;
+                core.now += queueing + (service as f64 / core.mlp) as Cycle;
+            }
+            MemEvent::Alloc { page } => {
+                let done = scheme.as_subsystem().page_alloc(core.now, &mut dram, page, core.domain);
+                // Page-fault handling overhead (identical across schemes)
+                // plus the scheme's allocation work.
+                core.now = done + 200;
+                core.instrs += 50;
+            }
+            MemEvent::Dealloc { page } => {
+                // TLB shootdown semantics: a freed page's lines are flushed
+                // from the hierarchy, so no write-back of a dead page can
+                // reach the integrity machinery later.
+                for b in page.blocks() {
+                    core.l1.invalidate(b.index());
+                    core.l2.invalidate(b.index());
+                    llc.invalidate(b.index());
+                }
+                let done = scheme.as_subsystem().page_dealloc(core.now, &mut dram, page, core.domain);
+                core.now = done + 100;
+                core.instrs += 30;
+            }
+        }
+    }
+
+    let stats = *scheme.stats();
+    let (utilization, untracked) = match &scheme {
+        SchemeInstance::Iv(iv) => match iv.forest() {
+            Some(f) => (
+                Some(f.stats().mean_utilization()),
+                Some(f.stats().untracked_slots),
+            ),
+            None => (None, None),
+        },
+        _ => (None, None),
+    };
+    let (bv_leaked, bv_scanned) = match &scheme {
+        SchemeInstance::Iv(iv) => match iv.bv() {
+            Some(b) => (Some(b.leaked_slots()), Some(b.total_blocks_scanned())),
+            None => (None, None),
+        },
+        _ => (None, None),
+    };
+
+    let core_results: Vec<CoreResult> = cores
+        .iter()
+        .map(|c| CoreResult {
+            benchmark: c.benchmark,
+            instrs: c.instrs - c.measure_instrs_start,
+            cycles: c.now - c.measure_start,
+            base_ipc: c.base_ipc,
+        })
+        .collect();
+
+    MixResult {
+        mix: mix.name,
+        scheme: scheme_kind,
+        avg_path_length: stats.avg_path_length(),
+        failed: stats.alloc_failures > 0,
+        stats,
+        cores: core_results,
+        utilization,
+        untracked_slots: untracked,
+        bv_leaked_slots: bv_leaked,
+        bv_blocks_scanned: bv_scanned,
+        llc_miss_reads,
+        read_latency_sum,
+        core_accesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_workloads::mixes::mix_by_name;
+
+    #[test]
+    fn smoke_runs_all_main_schemes() {
+        let mix = mix_by_name("S-3").unwrap();
+        let run = RunConfig::smoke_test();
+        for scheme in SchemeKind::MAIN {
+            let r = run_mix(mix, scheme, &run);
+            assert_eq!(r.cores.len(), 4);
+            assert!(r.weighted_ipc() > 0.0, "{scheme:?}");
+            assert!(!r.failed, "{scheme:?}");
+            assert!(r.stats.data_reads > 0);
+        }
+    }
+
+    #[test]
+    fn medium_mixes_spawn_two_threads_per_process() {
+        let mix = mix_by_name("M-1").unwrap();
+        let r = run_mix(mix, SchemeKind::Insecure, &RunConfig::smoke_test());
+        assert_eq!(r.cores.len(), 8);
+    }
+
+    #[test]
+    fn secure_schemes_cost_more_than_insecure() {
+        let mix = mix_by_name("S-1").unwrap();
+        let run = RunConfig::smoke_test();
+        let insecure = run_mix(mix, SchemeKind::Insecure, &run);
+        let baseline = run_mix(mix, SchemeKind::Baseline, &run);
+        assert!(
+            baseline.weighted_ipc() <= insecure.weighted_ipc() * 1.02,
+            "secure {} vs insecure {}",
+            baseline.weighted_ipc(),
+            insecure.weighted_ipc()
+        );
+        assert!(baseline.stats.meta_reads > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mix = mix_by_name("S-2").unwrap();
+        let run = RunConfig::smoke_test();
+        let a = run_mix(mix, SchemeKind::IvPro, &run);
+        let b = run_mix(mix, SchemeKind::IvPro, &run);
+        assert!((a.weighted_ipc() - b.weighted_ipc()).abs() < 1e-12);
+        assert_eq!(a.stats.total_mem_accesses(), b.stats.total_mem_accesses());
+    }
+}

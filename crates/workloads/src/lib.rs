@@ -1,0 +1,32 @@
+//! Synthetic workload models for the IvLeague evaluation.
+//!
+//! The paper drives its evaluation with 16 multi-programmed mixes drawn
+//! from SPEC CPU2017, PARSEC 3 and the GAP benchmark suite (Table II). We
+//! cannot ship those binaries, so this crate models each benchmark as a
+//! parameterized address-stream generator reproducing the properties the
+//! evaluated mechanisms are sensitive to:
+//!
+//! * steady-state **memory footprint** (drives TreeLing counts, metadata
+//!   cache pressure and the small/medium/large classification);
+//! * **hot-page skew** (a Zipf popularity distribution — what IvLeague-Pro
+//!   exploits);
+//! * **spatial locality** (sequential-run probability — what the row-buffer
+//!   and metadata caches exploit);
+//! * **allocation churn** (page alloc/dealloc rate — what the NFL absorbs);
+//! * **memory intensity** and read/write balance.
+//!
+//! Module map: [`profiles`] holds the calibrated per-benchmark parameters,
+//! [`zipf`] the sampling machinery, [`trace`] the generator, [`mixes`] the
+//! Table II mixes, and [`rsa`] the square-and-multiply victim used by the
+//! metadata side-channel attack (Figure 3).
+//!
+//! Footprints are scaled down ~8× from the native runs (a 256 KiB metadata
+//! cache against a multi-hundred-MB footprint already reproduces the
+//! pressure regime of the paper's multi-GB runs); DESIGN.md documents the
+//! substitution.
+
+pub mod mixes;
+pub mod profiles;
+pub mod rsa;
+pub mod trace;
+pub mod zipf;

@@ -1,0 +1,140 @@
+//! The 16 multi-programmed workload mixes of Table II.
+//!
+//! Each mix runs four benchmark processes on the 8-core system. Small
+//! (SPEC) processes are single-threaded; medium (PARSEC) and large (GAP)
+//! processes run two worker threads. Threads of a process share one IV
+//! domain (the paper groups threads of a process into the same domain).
+
+use crate::profiles::{by_name, BenchmarkProfile};
+
+/// Footprint class of a mix (paper: small <5 GB, medium 5–10 GB, large
+/// >10 GB — scaled 8× down here, the classification is unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MixClass {
+    /// SPEC2017 mixes S-1..S-6.
+    Small,
+    /// PARSEC mixes M-1..M-6.
+    Medium,
+    /// GAP mixes L-1..L-4.
+    Large,
+}
+
+impl MixClass {
+    /// Worker threads per process in this class.
+    pub fn threads_per_process(self) -> usize {
+        match self {
+            MixClass::Small => 1,
+            MixClass::Medium | MixClass::Large => 2,
+        }
+    }
+
+    /// Figure label prefix.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            MixClass::Small => "S",
+            MixClass::Medium => "M",
+            MixClass::Large => "L",
+        }
+    }
+}
+
+/// One multi-programmed mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Mix name as in Table II ("S-1" … "L-4").
+    pub name: &'static str,
+    /// Footprint class.
+    pub class: MixClass,
+    /// The four constituent benchmarks.
+    pub benchmarks: [&'static str; 4],
+}
+
+impl Mix {
+    /// Resolves the benchmark profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is missing from the profile table (checked in
+    /// tests).
+    pub fn profiles(&self) -> [&'static BenchmarkProfile; 4] {
+        self.benchmarks
+            .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+    }
+
+    /// Combined steady-state footprint in MiB.
+    pub fn total_footprint_mib(&self) -> u64 {
+        self.profiles().iter().map(|p| p.footprint_mib).sum()
+    }
+}
+
+/// Table II, verbatim.
+pub const MIXES: [Mix; 16] = [
+    Mix { name: "S-1", class: MixClass::Small, benchmarks: ["gcc", "cactu", "perlb", "depsj"] },
+    Mix { name: "S-2", class: MixClass::Small, benchmarks: ["mcf", "omntp", "lbm", "xlnbmk"] },
+    Mix { name: "S-3", class: MixClass::Small, benchmarks: ["bwves", "lbm", "x264", "cactu"] },
+    Mix { name: "S-4", class: MixClass::Small, benchmarks: ["perlb", "xlnbmk", "gcc", "omntp"] },
+    Mix { name: "S-5", class: MixClass::Small, benchmarks: ["mcf", "bwves", "depsj", "x264"] },
+    Mix { name: "S-6", class: MixClass::Small, benchmarks: ["omntp", "gcc", "mcf", "perlb"] },
+    Mix { name: "M-1", class: MixClass::Medium, benchmarks: ["dedup", "ferret", "blksch", "bdytrk"] },
+    Mix { name: "M-2", class: MixClass::Medium, benchmarks: ["cannl", "swaptn", "vips", "ferret"] },
+    Mix { name: "M-3", class: MixClass::Medium, benchmarks: ["freqmn", "fluida", "cannl", "fcesim"] },
+    Mix { name: "M-4", class: MixClass::Medium, benchmarks: ["vips", "swaptn", "dedup", "ferret"] },
+    Mix { name: "M-5", class: MixClass::Medium, benchmarks: ["blksch", "bdytrk", "freqmn", "fluida"] },
+    Mix { name: "M-6", class: MixClass::Medium, benchmarks: ["dedup", "fcesim", "bdytrk", "swaptn"] },
+    Mix { name: "L-1", class: MixClass::Large, benchmarks: ["bfs", "pr", "bc", "sssp"] },
+    Mix { name: "L-2", class: MixClass::Large, benchmarks: ["bfs", "pr", "cc", "tc"] },
+    Mix { name: "L-3", class: MixClass::Large, benchmarks: ["bc", "sssp", "cc", "tc"] },
+    Mix { name: "L-4", class: MixClass::Large, benchmarks: ["sssp", "pr", "bc", "tc"] },
+];
+
+/// Looks up a mix by name.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_workloads::mixes::{mix_by_name, MixClass};
+/// assert_eq!(mix_by_name("L-2").unwrap().class, MixClass::Large);
+/// ```
+pub fn mix_by_name(name: &str) -> Option<&'static Mix> {
+    MIXES.iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_mixes_six_six_four() {
+        assert_eq!(MIXES.len(), 16);
+        assert_eq!(MIXES.iter().filter(|m| m.class == MixClass::Small).count(), 6);
+        assert_eq!(MIXES.iter().filter(|m| m.class == MixClass::Medium).count(), 6);
+        assert_eq!(MIXES.iter().filter(|m| m.class == MixClass::Large).count(), 4);
+    }
+
+    #[test]
+    fn all_benchmarks_resolve() {
+        for m in &MIXES {
+            let _ = m.profiles();
+        }
+    }
+
+    #[test]
+    fn footprint_classes_are_ordered() {
+        // Scaled thresholds: small < 640 MiB, medium 640–1280, large > 1280.
+        for m in &MIXES {
+            let f = m.total_footprint_mib();
+            match m.class {
+                MixClass::Small => assert!(f < 640, "{}: {f}", m.name),
+                MixClass::Medium => assert!((640..=1280).contains(&f), "{}: {f}", m.name),
+                MixClass::Large => assert!(f > 1280, "{}: {f}", m.name),
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_match_paper() {
+        assert_eq!(MixClass::Small.threads_per_process(), 1);
+        assert_eq!(MixClass::Medium.threads_per_process(), 2);
+        assert_eq!(MixClass::Large.threads_per_process(), 2);
+    }
+}

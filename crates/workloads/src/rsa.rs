@@ -1,0 +1,148 @@
+//! The square-and-multiply RSA victim of the motivating attack (paper §IV).
+//!
+//! The classic left-to-right modular exponentiation leaks the private
+//! exponent through its access pattern: every bit executes `sqr`, and only
+//! set bits execute `mul`. When `sqr` and `mul` live on different code
+//! pages, an attacker who can observe per-page access timing recovers the
+//! exponent. This module generates the victim's page-access schedule; the
+//! attack itself lives in the `ivl-attack` crate.
+
+use ivl_sim_core::addr::{BlockAddr, PageNum};
+use ivl_sim_core::rng::Xoshiro256;
+
+/// The victim's memory layout and secret.
+#[derive(Debug, Clone)]
+pub struct SquareMultiplyVictim {
+    /// Secret exponent bits, most significant first.
+    exponent: Vec<bool>,
+    /// Code page of the `sqr` routine.
+    pub sqr_page: PageNum,
+    /// Code page of the `mul` routine.
+    pub mul_page: PageNum,
+}
+
+/// Accesses performed while processing one exponent bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitStep {
+    /// Bit index (0 = most significant).
+    pub bit: usize,
+    /// The secret bit value.
+    pub value: bool,
+    /// Victim memory accesses for this bit, in program order.
+    pub accesses: Vec<BlockAddr>,
+}
+
+impl SquareMultiplyVictim {
+    /// Creates a victim with the given secret exponent bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` is empty or the two code pages coincide.
+    pub fn new(exponent: Vec<bool>, sqr_page: PageNum, mul_page: PageNum) -> Self {
+        assert!(!exponent.is_empty(), "need at least one exponent bit");
+        assert_ne!(sqr_page, mul_page, "sqr and mul must live on distinct pages");
+        SquareMultiplyVictim {
+            exponent,
+            sqr_page,
+            mul_page,
+        }
+    }
+
+    /// Creates a victim with a random `bits`-bit exponent (MSB forced to 1,
+    /// as in a real RSA private exponent).
+    pub fn random(bits: usize, sqr_page: PageNum, mul_page: PageNum, seed: u64) -> Self {
+        assert!(bits >= 2);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut exponent: Vec<bool> = (0..bits).map(|_| rng.chance(0.5)).collect();
+        exponent[0] = true;
+        Self::new(exponent, sqr_page, mul_page)
+    }
+
+    /// The secret exponent bits (ground truth for accuracy measurement).
+    pub fn exponent(&self) -> &[bool] {
+        &self.exponent
+    }
+
+    /// Number of exponent bits.
+    pub fn bits(&self) -> usize {
+        self.exponent.len()
+    }
+
+    /// The victim's accesses while processing bit `bit`: several `sqr`
+    /// blocks always, several `mul` blocks iff the bit is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn step(&self, bit: usize) -> BitStep {
+        let value = self.exponent[bit];
+        let mut accesses = Vec::new();
+        // The sqr routine touches a few cache blocks of its code page.
+        for b in 0..4 {
+            accesses.push(self.sqr_page.block(b));
+        }
+        if value {
+            for b in 0..4 {
+                accesses.push(self.mul_page.block(b));
+            }
+        }
+        BitStep {
+            bit,
+            value,
+            accesses,
+        }
+    }
+
+    /// All steps in order.
+    pub fn steps(&self) -> impl Iterator<Item = BitStep> + '_ {
+        (0..self.bits()).map(|b| self.step(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn victim() -> SquareMultiplyVictim {
+        SquareMultiplyVictim::new(
+            vec![true, false, true, true],
+            PageNum::new(10),
+            PageNum::new(20),
+        )
+    }
+
+    #[test]
+    fn set_bits_touch_mul_page() {
+        let v = victim();
+        let s = v.step(0);
+        assert!(s.value);
+        assert!(s.accesses.iter().any(|b| b.page() == v.mul_page));
+        let s = v.step(1);
+        assert!(!s.value);
+        assert!(s.accesses.iter().all(|b| b.page() != v.mul_page));
+    }
+
+    #[test]
+    fn every_bit_touches_sqr_page() {
+        let v = victim();
+        for s in v.steps() {
+            assert!(s.accesses.iter().any(|b| b.page() == v.sqr_page));
+        }
+    }
+
+    #[test]
+    fn random_exponent_is_deterministic_and_msb_set() {
+        let a = SquareMultiplyVictim::random(64, PageNum::new(1), PageNum::new(2), 9);
+        let b = SquareMultiplyVictim::random(64, PageNum::new(1), PageNum::new(2), 9);
+        assert_eq!(a.exponent(), b.exponent());
+        assert!(a.exponent()[0]);
+        assert_eq!(a.bits(), 64);
+    }
+
+    #[test]
+    fn random_bits_are_balanced() {
+        let v = SquareMultiplyVictim::random(2048, PageNum::new(1), PageNum::new(2), 11);
+        let ones = v.exponent().iter().filter(|b| **b).count();
+        assert!((800..1250).contains(&ones), "ones {ones}");
+    }
+}

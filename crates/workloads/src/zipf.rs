@@ -1,0 +1,115 @@
+//! Zipf-distributed sampling over page ranks.
+//!
+//! Real workloads access a small set of pages very frequently (the paper's
+//! hotpages, §VII-B). A Zipf distribution with exponent `s` over page ranks
+//! captures that: rank-1 pages dominate for large `s`, while `s → 0`
+//! degenerates to uniform.
+
+use ivl_sim_core::rng::Xoshiro256;
+
+/// A precomputed inverse-CDF Zipf sampler.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_workloads::zipf::Zipf;
+/// use ivl_sim_core::rng::Xoshiro256;
+///
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = Xoshiro256::seed_from(1);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative weights, normalized to 1.0 at the end.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over ranks `0..n` with exponent `s` (`s == 0` is
+    /// uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.next_f64();
+        // Binary search for the first cdf entry >= u.
+        match self
+            .cdf
+            .binary_search_by(|v| v.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_distribution_prefers_low_ranks() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = Xoshiro256::seed_from(3);
+        let n = 100_000;
+        let top10 = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+        assert!(
+            top10 as f64 / n as f64 > 0.4,
+            "top-10 share too small: {top10}"
+        );
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Xoshiro256::seed_from(4);
+        let n = 100_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            let share = c as f64 / n as f64;
+            assert!((share - 0.1).abs() < 0.02, "share {share}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 0.8);
+        let mut rng = Xoshiro256::seed_from(5);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+}

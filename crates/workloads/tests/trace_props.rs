@@ -1,0 +1,62 @@
+//! Property tests on the workload generators.
+
+use ivl_sim_core::domain::DomainId;
+use ivl_workloads::profiles::BENCHMARKS;
+use ivl_workloads::trace::{MemEvent, TraceGenerator};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn alloc_dealloc_access_discipline(bench_idx in 0usize..26, seed in any::<u64>()) {
+        let profile = &BENCHMARKS[bench_idx];
+        // Cap the modeled footprint so the test stays fast.
+        let footprint = profile.footprint_pages().min(2048);
+        let range = (footprint * 4).next_power_of_two().max(4096 * 4);
+        let mut g = TraceGenerator::with_footprint(
+            profile,
+            DomainId::new_unchecked(0),
+            1 << 20,
+            seed,
+            footprint,
+            range,
+        );
+        let mut live = HashSet::new();
+        for _ in 0..30_000 {
+            match g.next_event() {
+                MemEvent::Alloc { page } => {
+                    prop_assert!(live.insert(page), "double alloc");
+                }
+                MemEvent::Dealloc { page } => {
+                    prop_assert!(live.remove(&page), "free of unallocated page");
+                }
+                MemEvent::Access { block, gap_instrs, .. } => {
+                    prop_assert!(live.contains(&block.page()), "wild access");
+                    prop_assert!(gap_instrs >= 1);
+                }
+            }
+        }
+        prop_assert!(live.len() as u64 <= (footprint as f64 * profile.init_spike) as u64 + 1);
+    }
+
+    #[test]
+    fn streams_differ_across_seeds(bench_idx in 0usize..26) {
+        let profile = &BENCHMARKS[bench_idx];
+        let mk = |seed| {
+            TraceGenerator::with_footprint(
+                profile,
+                DomainId::new_unchecked(0),
+                0,
+                seed,
+                256,
+                4096 * 4,
+            )
+        };
+        let mut a = mk(1);
+        let mut b = mk(2);
+        let differs = (0..2000).any(|_| a.next_event() != b.next_event());
+        prop_assert!(differs);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: tamper-evident secure memory plus IvLeague's isolated
+//! per-domain integrity trees.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ivleague_repro::ivl_secure_mem::functional::{IntegrityError, SecureMemory};
+use ivleague_repro::ivl_sim_core::addr::{BlockAddr, PageNum};
+use ivleague_repro::ivl_sim_core::config::IvVariant;
+use ivleague_repro::ivl_sim_core::domain::DomainId;
+use ivleague_repro::ivleague::forest::{Forest, ForestConfig};
+
+fn main() {
+    println!("== 1. A functionally-correct secure memory ==");
+    // Three processor keys: encryption, MAC, integrity tree.
+    let mut mem = SecureMemory::new(1024, [1u8; 16], [2u8; 16], [3u8; 16]);
+    let secret = BlockAddr::new(100);
+    mem.write_block(secret, b"attack at dawn!.attack at dawn!.attack at dawn!.attack at dawn!.")
+        .expect("in range");
+    let read = mem.read_block(secret).expect("verified read");
+    println!("  verified read-back : {:?}...", std::str::from_utf8(&read[..14]).unwrap());
+
+    // Physical attacks against off-chip memory are detected:
+    mem.corrupt_data(secret, 3, 0xFF);
+    println!("  spoofing  -> {:?}", mem.read_block(secret).unwrap_err());
+    mem.corrupt_data(secret, 3, 0xFF); // undo
+    let snapshot = mem.snapshot_block(secret);
+    mem.write_block(secret, &[0u8; 64]).expect("overwrite");
+    mem.replay_block(&snapshot); // restore stale data + MAC + counter
+    let err = mem.read_block(secret).unwrap_err();
+    assert!(matches!(err, IntegrityError::Tree(_)));
+    println!("  replay    -> {err:?} (the on-chip tree root catches it)");
+
+    println!("\n== 2. IvLeague: isolated dynamic integrity trees ==");
+    let mut forest = Forest::new(ForestConfig::small_for_tests(IvVariant::Pro));
+    let tenant_a = DomainId::new_unchecked(1);
+    let tenant_b = DomainId::new_unchecked(2);
+    for i in 0..24 {
+        forest.map_page(tenant_a, PageNum::new(i)).expect("capacity");
+        forest.map_page(tenant_b, PageNum::new(1000 + i)).expect("capacity");
+    }
+    println!(
+        "  tenant A holds {} TreeLings, tenant B holds {}",
+        forest.treelings_of(tenant_a).len(),
+        forest.treelings_of(tenant_b).len()
+    );
+    println!(
+        "  page 0 of A verifies through {} in-TreeLing nodes (root pinned on-chip)",
+        forest.verification_path(PageNum::new(0)).unwrap().len()
+    );
+    assert!(forest.verify_isolation());
+    println!("  cross-domain isolation check: no shared tree node — OK");
+
+    // Hotpage optimization (IvLeague-Pro): migrate a page near the root.
+    let hot = PageNum::new(23);
+    let before = forest.verification_path(hot).unwrap().len();
+    forest.promote_page(tenant_a, hot).expect("hot capacity");
+    let after = forest.verification_path(hot).unwrap().len();
+    println!("  hotpage promotion: path {before} -> {after} nodes");
+
+    // Domains scale down as well: destroying a tenant recycles TreeLings.
+    forest.destroy_domain(tenant_b);
+    println!("  tenant B destroyed; its TreeLings returned to the free FIFO");
+    println!("\nAll quickstart checks passed.");
+}

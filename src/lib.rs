@@ -1,0 +1,41 @@
+//! Umbrella crate for the IvLeague reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests (and downstream users who want the whole stack) can
+//! depend on a single package:
+//!
+//! * [`core`](ivl_sim_core) — addresses, domains, configuration, RNG, stats;
+//! * [`crypto`](ivl_crypto) — AES-128, SipHash-2-4, counter-mode, MACs;
+//! * [`cache`](ivl_cache) — set-associative / randomized caches, CAM buffers;
+//! * [`dram`](ivl_dram) — DRAM timing model;
+//! * [`secure_mem`](ivl_secure_mem) — counters, MACs, Bonsai Merkle Tree,
+//!   the functional secure memory and the Baseline timing scheme;
+//! * [`ivleague`] — TreeLings, NFL, LMM, domain controller, the forest and
+//!   the IvLeague-Basic/-Invert/-Pro timing schemes;
+//! * [`simulator`](ivl_simulator) — the trace-driven multicore system;
+//! * [`workloads`](ivl_workloads) — benchmark models and Table II mixes;
+//! * [`attack`](ivl_attack) — the metadata side-channel attack;
+//! * [`analysis`](ivl_analysis) — starvation/scalability/cost models.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivleague_repro::ivl_secure_mem::functional::SecureMemory;
+//! use ivleague_repro::ivl_sim_core::addr::BlockAddr;
+//!
+//! let mut mem = SecureMemory::new(64, [1u8; 16], [2u8; 16], [3u8; 16]);
+//! mem.write_block(BlockAddr::new(0), &[42u8; 64])?;
+//! assert_eq!(mem.read_block(BlockAddr::new(0))?, [42u8; 64]);
+//! # Ok::<(), ivleague_repro::ivl_secure_mem::functional::IntegrityError>(())
+//! ```
+
+pub use ivl_analysis;
+pub use ivl_attack;
+pub use ivl_cache;
+pub use ivl_crypto;
+pub use ivl_dram;
+pub use ivl_secure_mem;
+pub use ivl_sim_core;
+pub use ivl_simulator;
+pub use ivl_workloads;
+pub use ivleague;

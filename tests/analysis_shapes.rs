@@ -1,0 +1,66 @@
+//! Sanity checks on the analytic experiments: the regenerated Figures
+//! 21/22 and Table III must have the paper's qualitative shapes.
+
+use ivleague_repro::ivl_analysis::hardware::hardware_cost;
+use ivleague_repro::ivl_analysis::scalability::{
+    paper_ivleague, success_rate, PartitionScheme,
+};
+use ivleague_repro::ivl_analysis::starvation::{fig21_sweep, treelings_required};
+use ivleague_repro::ivl_sim_core::config::SystemConfig;
+
+const GIB: u64 = 1 << 30;
+
+#[test]
+fn fig21_required_treelings_fall_then_flatten() {
+    for mem in [8 * GIB, 32 * GIB] {
+        let pts = fig21_sweep(mem, 4096);
+        // For fixed skew 0.1, requirements are non-increasing in TreeLing
+        // size and bounded below by the domain count.
+        let series: Vec<u64> = pts
+            .iter()
+            .filter(|p| (p.skew - 0.1).abs() < 1e-9)
+            .map(|p| p.required)
+            .collect();
+        for pair in series.windows(2) {
+            assert!(pair[0] >= pair[1], "series must fall: {series:?}");
+        }
+        assert!(*series.last().unwrap() >= 4095, "domain floor");
+        assert!(series[0] > 2 * series[series.len() - 1] || series[0] >= 4096);
+    }
+}
+
+#[test]
+fn fig21_worst_case_matches_closed_form() {
+    // #τ = (D−1) + (M − (D−1)·4KB)/S at full skew with the rest minimal.
+    let d = 4096u64;
+    let m = 32 * GIB;
+    let s = 64 << 20;
+    let formula = (d - 1) + (m - (d - 1) * 4096).div_ceil(s);
+    // Worst case: one domain takes everything beyond one page per domain.
+    let sim = (d - 1) + treelings_required(1, m - (d - 1) * 4096, s, 1.0);
+    assert_eq!(formula, sim);
+}
+
+#[test]
+fn fig22_static_collapses_ivleague_holds() {
+    let mem = 128 * GIB;
+    let hard = success_rate(PartitionScheme::Static, mem, 128, 0.8, 200, 7);
+    let easy = success_rate(PartitionScheme::Static, mem, 8, 0.2, 200, 8);
+    assert!(hard < 0.05, "static at high pressure: {hard}");
+    assert!(easy > hard);
+    let iv = success_rate(paper_ivleague(), mem, 128, 0.8, 200, 9);
+    assert!(iv > 0.98, "IvLeague: {iv}");
+}
+
+#[test]
+fn table3_cost_is_modest() {
+    let cost = hardware_cost(&SystemConfig::default());
+    assert!(cost.total_area_mm2() < 1.0, "area {}", cost.total_area_mm2());
+    assert!(cost.offchip_nfl_fraction < 0.01);
+    assert!(cost.tree_metadata_fraction < 0.05);
+    // The LMM cache dominates on-chip storage, as in the paper.
+    let lmm = cost.rows.iter().find(|r| r.component.contains("LMM")).unwrap();
+    for r in &cost.rows {
+        assert!(lmm.storage_bytes >= r.storage_bytes);
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end security properties: the functional secure memory detects
+//! every physical-attack class, the metadata side channel works against the
+//! global tree and collapses under IvLeague, and TreeLing isolation holds
+//! under multi-domain stress.
+
+use ivleague_repro::ivl_attack::{run_attack, AttackConfig, TargetScheme};
+use ivleague_repro::ivl_secure_mem::functional::{IntegrityError, SecureMemory};
+use ivleague_repro::ivl_sim_core::addr::{BlockAddr, PageNum};
+use ivleague_repro::ivl_sim_core::config::IvVariant;
+use ivleague_repro::ivl_sim_core::domain::DomainId;
+use ivleague_repro::ivl_sim_core::rng::Xoshiro256;
+use ivleague_repro::ivleague::forest::{Forest, ForestConfig};
+
+fn mem() -> SecureMemory {
+    SecureMemory::new(256, [11u8; 16], [22u8; 16], [33u8; 16])
+}
+
+#[test]
+fn spoofing_splicing_replay_all_detected() {
+    let mut m = mem();
+    let a = BlockAddr::new(10);
+    let b = BlockAddr::new(20);
+    m.write_block(a, &[1u8; 64]).unwrap();
+    m.write_block(b, &[2u8; 64]).unwrap();
+
+    // Spoofing: flip ciphertext bits.
+    let mut spoofed = m.clone();
+    spoofed.corrupt_data(a, 0, 0x01);
+    assert_eq!(spoofed.read_block(a), Err(IntegrityError::MacMismatch));
+
+    // Splicing: move a valid (ciphertext, MAC) pair to another address.
+    let mut spliced = m.clone();
+    spliced.splice(a, b);
+    assert_eq!(spliced.read_block(b), Err(IntegrityError::MacMismatch));
+
+    // Replay: restore a stale but self-consistent snapshot.
+    let snap = m.snapshot_block(a);
+    m.write_block(a, &[3u8; 64]).unwrap();
+    m.replay_block(&snap);
+    assert!(matches!(m.read_block(a), Err(IntegrityError::Tree(_))));
+}
+
+#[test]
+fn integrity_tree_node_tampering_detected_at_every_level() {
+    let mut m = mem();
+    let block = BlockAddr::new(0);
+    m.write_block(block, &[9u8; 64]).unwrap();
+    let layout = m.tree().layout().clone();
+    let path = layout.path_to_root(block.page());
+    for node in path {
+        let mut tampered = m.clone();
+        tampered.tree_mut().tamper_slot(node, 0, 0xBEEF);
+        assert!(
+            matches!(tampered.read_block(block), Err(IntegrityError::Tree(_))),
+            "tamper at level {} undetected",
+            node.level
+        );
+    }
+}
+
+#[test]
+fn metadata_side_channel_leaks_globally_but_not_under_ivleague() {
+    let cfg = AttackConfig {
+        bits: 384,
+        noise: 0.0,
+        seed: 1234,
+    };
+    let leak = run_attack(TargetScheme::GlobalTree, &cfg);
+    assert!(leak.accuracy > 0.95, "global tree accuracy {}", leak.accuracy);
+
+    let safe = run_attack(TargetScheme::IvLeague, &cfg);
+    assert!(
+        (0.30..0.72).contains(&safe.accuracy),
+        "IvLeague accuracy {} should be ~0.5",
+        safe.accuracy
+    );
+}
+
+#[test]
+fn isolation_survives_multi_domain_churn_in_every_variant() {
+    for variant in IvVariant::ALL {
+        let mut forest = Forest::new(ForestConfig::small_for_tests(variant));
+        let mut rng = Xoshiro256::seed_from(99);
+        let mut live: Vec<(DomainId, PageNum)> = Vec::new();
+        let mut next = 0u64;
+        for step in 0..4000 {
+            let d = DomainId::new_unchecked((step % 3) as u16);
+            if live.is_empty() || rng.chance(0.6) {
+                let p = PageNum::new(next);
+                next += 1;
+                if forest.map_page(d, p).is_ok() {
+                    live.push((d, p));
+                }
+            } else {
+                let idx = rng.index(live.len());
+                let (owner, page) = live.swap_remove(idx);
+                forest.unmap_page(owner, page).unwrap();
+            }
+            if step % 1000 == 999 {
+                assert!(forest.verify_isolation(), "{variant:?} leaked at step {step}");
+            }
+        }
+        // Domain teardown recycles TreeLings without breaking isolation.
+        forest.destroy_domain(DomainId::new_unchecked(0));
+        live.retain(|(d, _)| d.index() != 0);
+        assert!(forest.verify_isolation());
+        for (d, p) in &live {
+            assert_eq!(
+                forest
+                    .verification_path(*p)
+                    .map(|path| path.is_empty()),
+                Some(false),
+                "{variant:?}: page of {d} lost its path"
+            );
+        }
+    }
+}
+
+#[test]
+fn overflow_reencryption_preserves_verifiability() {
+    let mut m = mem();
+    let page = PageNum::new(3);
+    for off in 0..4 {
+        m.write_block(page.block(off), &[off as u8; 64]).unwrap();
+    }
+    // Hammer one block through several minor-counter overflows.
+    for i in 0..300u32 {
+        m.write_block(page.block(0), &[(i % 251) as u8; 64]).unwrap();
+    }
+    assert!(m.page_reencryptions() >= 2);
+    for off in 1..4 {
+        assert_eq!(m.read_block(page.block(off)).unwrap(), [off as u8; 64]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Cross-crate behavioural tests of the timing schemes under the real
+//! multicore simulator (small smoke-scale runs).
+
+use ivleague_repro::ivl_simulator::{run_mix, RunConfig, SchemeKind};
+use ivleague_repro::ivl_workloads::mixes::{mix_by_name, MIXES};
+
+#[test]
+fn every_mix_runs_under_every_main_scheme() {
+    let run = RunConfig {
+        warmup_accesses: 1_000,
+        measure_accesses: 4_000,
+        seed: 5,
+    };
+    for mix in MIXES.iter() {
+        for scheme in SchemeKind::MAIN {
+            let r = run_mix(mix, scheme, &run);
+            assert!(r.weighted_ipc() > 0.0, "{}/{scheme:?}", mix.name);
+            assert!(r.stats.data_reads > 0, "{}/{scheme:?}", mix.name);
+            assert!(!r.failed, "{}/{scheme:?} reported allocation failures", mix.name);
+        }
+    }
+}
+
+#[test]
+fn secure_schemes_generate_metadata_traffic_insecure_does_not() {
+    let run = RunConfig::smoke_test();
+    let mix = mix_by_name("S-2").unwrap();
+    let insecure = run_mix(mix, SchemeKind::Insecure, &run);
+    assert_eq!(insecure.stats.meta_reads, 0);
+    for scheme in SchemeKind::MAIN {
+        let r = run_mix(mix, scheme, &run);
+        assert!(r.stats.meta_reads > 0, "{scheme:?}");
+        assert!(
+            r.weighted_ipc() <= insecure.weighted_ipc() * 1.05,
+            "{scheme:?}: protection cannot beat no protection ({} vs {})",
+            r.weighted_ipc(),
+            insecure.weighted_ipc()
+        );
+    }
+}
+
+#[test]
+fn ivleague_schemes_track_nfl_and_lmm_baseline_does_not() {
+    let run = RunConfig::smoke_test();
+    let mix = mix_by_name("M-2").unwrap();
+    let base = run_mix(mix, SchemeKind::Baseline, &run);
+    assert_eq!(base.stats.lmm_cache.total(), 0);
+    assert_eq!(base.stats.nflb.total(), 0);
+    for scheme in [SchemeKind::IvBasic, SchemeKind::IvInvert, SchemeKind::IvPro] {
+        let r = run_mix(mix, scheme, &run);
+        assert!(r.stats.lmm_cache.total() > 0, "{scheme:?}");
+        assert!(r.stats.nflb.total() > 0, "{scheme:?}");
+        assert!(
+            r.stats.nflb.hit_rate() > 0.5,
+            "{scheme:?} NFLB hit rate {:.2}",
+            r.stats.nflb.hit_rate()
+        );
+        assert!(r.utilization.unwrap_or(0.0) > 0.9, "{scheme:?}");
+    }
+}
+
+#[test]
+fn path_lengths_land_in_plausible_ranges() {
+    let run = RunConfig::smoke_test();
+    let mix = mix_by_name("L-2").unwrap();
+    for scheme in SchemeKind::MAIN {
+        let r = run_mix(mix, scheme, &run);
+        assert!(
+            r.avg_path_length >= 0.0 && r.avg_path_length <= 6.0,
+            "{scheme:?} path {}",
+            r.avg_path_length
+        );
+        assert!(r.stats.verifications > 0, "{scheme:?}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = RunConfig::smoke_test();
+    let mix = mix_by_name("S-5").unwrap();
+    for scheme in [SchemeKind::Baseline, SchemeKind::IvInvert] {
+        let a = run_mix(mix, scheme, &run);
+        let b = run_mix(mix, scheme, &run);
+        assert_eq!(
+            a.stats.total_mem_accesses(),
+            b.stats.total_mem_accesses(),
+            "{scheme:?}"
+        );
+        assert!((a.weighted_ipc() - b.weighted_ipc()).abs() < 1e-12);
+    }
+}
