@@ -119,8 +119,16 @@ mod tests {
         // overprovisions TreeLing coverage 16× (the breadth-first policy
         // trades off-chip metadata for shorter paths), so the ceilings here
         // are proportionally wider while still "a few percent".
-        assert!(cost.offchip_nfl_fraction < 0.01, "{}", cost.offchip_nfl_fraction);
-        assert!(cost.tree_metadata_fraction < 0.05, "{}", cost.tree_metadata_fraction);
+        assert!(
+            cost.offchip_nfl_fraction < 0.01,
+            "{}",
+            cost.offchip_nfl_fraction
+        );
+        assert!(
+            cost.tree_metadata_fraction < 0.05,
+            "{}",
+            cost.tree_metadata_fraction
+        );
     }
 
     #[test]

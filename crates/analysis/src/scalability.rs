@@ -39,9 +39,7 @@ pub fn paper_ivleague() -> PartitionScheme {
 /// Draws one random footprint vector with `sum = target_sum` (exponential
 /// weights → high variance across domains).
 fn random_footprints(rng: &mut Xoshiro256, domains: usize, target_sum: f64) -> Vec<f64> {
-    let mut weights: Vec<f64> = (0..domains)
-        .map(|_| -(1.0 - rng.next_f64()).ln())
-        .collect();
+    let mut weights: Vec<f64> = (0..domains).map(|_| -(1.0 - rng.next_f64()).ln()).collect();
     let total: f64 = weights.iter().sum();
     for w in &mut weights {
         *w = *w / total * target_sum;

@@ -30,12 +30,7 @@ pub fn worst_case_treelings(domains: u64, memory_bytes: u64, treeling_bytes: u64
 /// # Panics
 ///
 /// Panics unless `0 < skew <= 1` and `domains >= 1`.
-pub fn treelings_required(
-    domains: u64,
-    memory_bytes: u64,
-    treeling_bytes: u64,
-    skew: f64,
-) -> u64 {
+pub fn treelings_required(domains: u64, memory_bytes: u64, treeling_bytes: u64, skew: f64) -> u64 {
     assert!(domains >= 1);
     assert!(skew > 0.0 && skew <= 1.0, "skew in (0, 1]");
     let big = (memory_bytes as f64 * skew) as u64;

@@ -106,7 +106,6 @@ fn colocated_attacker_page(victim: PageNum) -> PageNum {
     PageNum::new(candidate)
 }
 
-
 enum Scheme {
     Global(Box<GlobalBmtSubsystem>),
     Iv(Box<IvLeagueSubsystem>),
@@ -313,9 +312,8 @@ mod tests {
         let fast: Vec<_> = r.samples.iter().filter(|s| s.truth).collect();
         let slow: Vec<_> = r.samples.iter().filter(|s| !s.truth).collect();
         assert!(!fast.is_empty() && !slow.is_empty());
-        let avg = |v: &[&LatencySample]| {
-            v.iter().map(|s| s.p2_latency).sum::<u64>() / v.len() as u64
-        };
+        let avg =
+            |v: &[&LatencySample]| v.iter().map(|s| s.p2_latency).sum::<u64>() / v.len() as u64;
         assert!(
             avg(&fast) + 20 < avg(&slow),
             "fast {} vs slow {}",

@@ -1,12 +1,14 @@
-//! Criterion micro-benchmarks for the hot mechanisms of the reproduction.
+//! Micro-benchmarks for the hot mechanisms of the reproduction, on the
+//! in-tree `ivl-testkit` harness (no criterion; DESIGN.md §5).
 //!
 //! One group per subsystem that sits on the simulated critical path:
 //! cryptographic primitives, cache models, the DRAM timing model, the NFL
 //! state machine, forest page mapping, the integrity-scheme data-access
-//! paths, and the workload generator. `cargo bench --workspace` runs them
-//! all; each completes in seconds so the full suite stays fast.
+//! paths, and the workload generator. Run with `cargo bench -p ivl-bench`;
+//! `IVL_BENCH_QUICK=1` shortens samples for smoke runs, and
+//! `IVL_BENCH_JSON=<path>` mirrors the results into a JSON file (the
+//! checked-in `BENCH_baseline.json` seeds the perf trajectory).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ivl_cache::set_assoc::SetAssocCache;
 use ivl_cache::CacheModel;
 use ivl_crypto::aes::Aes128;
@@ -20,96 +22,85 @@ use ivl_sim_core::addr::{BlockAddr, PageNum};
 use ivl_sim_core::config::{IvVariant, SystemConfig};
 use ivl_sim_core::domain::DomainId;
 use ivl_sim_core::rng::Xoshiro256;
+use ivl_testkit::bench::{black_box, Harness};
 use ivl_workloads::profiles::by_name;
 use ivl_workloads::trace::TraceGenerator;
 use ivleague::forest::{Forest, ForestConfig};
 use ivleague::nfl::Nfl;
 use ivleague::scheme::{AllocatorKind, IvLeagueSubsystem};
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
+fn bench_crypto(h: &mut Harness) {
+    h.group("crypto");
     let aes = Aes128::new([7u8; 16]);
-    g.bench_function("aes128_encrypt_block", |b| {
-        b.iter(|| aes.encrypt_block(black_box([0x5Au8; 16])))
+    h.bench("aes128_encrypt_block", || {
+        aes.encrypt_block(black_box([0x5Au8; 16]))
     });
     let key = SipKey::from_bytes([3u8; 16]);
     let msg = [0u8; 72];
-    g.bench_function("siphash24_72B", |b| b.iter(|| siphash24(key, black_box(&msg))));
+    h.bench("siphash24_72B", || siphash24(key, black_box(&msg)));
     let ctr = CtrEngine::new([9u8; 16]);
-    g.bench_function("ctr_encrypt_64B_block", |b| {
-        b.iter(|| {
-            let mut block = [0xA5u8; 64];
-            ctr.encrypt_block(black_box(0x1000), black_box(42), &mut block);
-            block
-        })
+    h.bench("ctr_encrypt_64B_block", || {
+        let mut block = [0xA5u8; 64];
+        ctr.encrypt_block(black_box(0x1000), black_box(42), &mut block);
+        block
     });
-    g.finish();
 }
 
-fn bench_functional_secure_memory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("functional_secure_memory");
+fn bench_functional_secure_memory(h: &mut Harness) {
+    h.group("functional_secure_memory");
     let mut mem = SecureMemory::new(1024, [1u8; 16], [2u8; 16], [3u8; 16]);
     mem.write_block(BlockAddr::new(0), &[7u8; 64]).unwrap();
-    g.bench_function("verified_read_64B", |b| {
-        b.iter(|| mem.read_block(black_box(BlockAddr::new(0))).unwrap())
+    h.bench("verified_read_64B", || {
+        mem.read_block(black_box(BlockAddr::new(0))).unwrap()
     });
+    let mut mem = SecureMemory::new(1024, [1u8; 16], [2u8; 16], [3u8; 16]);
     let mut i = 0u64;
-    g.bench_function("verified_write_64B", |b| {
-        b.iter(|| {
-            i += 1;
-            mem.write_block(BlockAddr::new(i % 1024), &[i as u8; 64])
-                .unwrap()
-        })
+    h.bench("verified_write_64B", || {
+        i += 1;
+        mem.write_block(BlockAddr::new(i % 1024), &[i as u8; 64])
+            .unwrap()
     });
-    g.finish();
 }
 
-fn bench_caches_and_dram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache_dram");
+fn bench_caches_and_dram(h: &mut Harness) {
+    h.group("cache_dram");
     let mut cache = SetAssocCache::with_geometry(256 * 1024, 8, 64);
     let mut rng = Xoshiro256::seed_from(1);
-    g.bench_function("set_assoc_access", |b| {
-        b.iter(|| cache.access(black_box(rng.next_below(1 << 20)), false))
+    h.bench("set_assoc_access", || {
+        cache.access(black_box(rng.next_below(1 << 20)), false)
     });
     let cfg = SystemConfig::default();
     let mut dram = DramModel::new(&cfg.dram);
+    let mut rng = Xoshiro256::seed_from(1);
     let mut now = 0u64;
-    g.bench_function("dram_access", |b| {
-        b.iter(|| {
-            now += 10;
-            dram.access(now, BlockAddr::new(rng.next_below(1 << 24)), false)
-        })
+    h.bench("dram_access", || {
+        now += 10;
+        dram.access(now, BlockAddr::new(rng.next_below(1 << 24)), false)
     });
-    g.finish();
 }
 
-fn bench_nfl_and_forest(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ivleague_mechanisms");
-    g.bench_function("nfl_alloc_free_pair", |b| {
-        let mut nfl = Nfl::new((0..512).collect(), 8, 8);
-        b.iter(|| {
-            let a = nfl.alloc().expect("capacity");
-            nfl.free(a.tag, a.slot)
-        })
+fn bench_nfl_and_forest(h: &mut Harness) {
+    h.group("ivleague_mechanisms");
+    let mut nfl = Nfl::new((0..512).collect(), 8, 8);
+    h.bench("nfl_alloc_free_pair", || {
+        let a = nfl.alloc().expect("capacity");
+        nfl.free(a.tag, a.slot)
     });
     for variant in IvVariant::ALL {
         let mut forest = Forest::new(ForestConfig::small_for_tests(variant));
         let d = DomainId::new_unchecked(0);
         let mut page = 0u64;
-        g.bench_function(format!("forest_map_unmap_{variant:?}"), |b| {
-            b.iter(|| {
-                page += 1;
-                let p = PageNum::new(page);
-                forest.map_page(d, p).expect("capacity");
-                forest.unmap_page(d, p).expect("mapped")
-            })
+        h.bench(&format!("forest_map_unmap_{variant:?}"), || {
+            page += 1;
+            let p = PageNum::new(page);
+            forest.map_page(d, p).expect("capacity");
+            forest.unmap_page(d, p).expect("mapped")
         });
     }
-    g.finish();
 }
 
-fn bench_scheme_access_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scheme_data_access");
+fn bench_scheme_access_paths(h: &mut Harness) {
+    h.group("scheme_data_access");
     let cfg = SystemConfig::default();
     let d = DomainId::new_unchecked(1);
 
@@ -117,42 +108,37 @@ fn bench_scheme_access_paths(c: &mut Criterion) {
     let mut baseline = GlobalBmtSubsystem::new(&cfg.secure, cfg.total_pages());
     let mut now = 0u64;
     let mut rng = Xoshiro256::seed_from(2);
-    g.bench_function("baseline_read", |b| {
-        b.iter(|| {
-            now += 100;
-            let blk = PageNum::new(rng.next_below(1 << 16)).block(0);
-            baseline.data_access(now, &mut dram, blk, d, false)
-        })
+    h.bench("baseline_read", || {
+        now += 100;
+        let blk = PageNum::new(rng.next_below(1 << 16)).block(0);
+        baseline.data_access(now, &mut dram, blk, d, false)
     });
 
     let mut dram2 = DramModel::new(&cfg.dram);
     let mut iv = IvLeagueSubsystem::new(&cfg, IvVariant::Pro, AllocatorKind::Nfl);
     let mut now2 = 0u64;
-    g.bench_function("ivleague_pro_read", |b| {
-        b.iter(|| {
-            now2 += 100;
-            let blk = PageNum::new(rng.next_below(1 << 16)).block(0);
-            iv.data_access(now2, &mut dram2, blk, d, false)
-        })
+    let mut rng = Xoshiro256::seed_from(2);
+    h.bench("ivleague_pro_read", || {
+        now2 += 100;
+        let blk = PageNum::new(rng.next_below(1 << 16)).block(0);
+        iv.data_access(now2, &mut dram2, blk, d, false)
     });
-    g.finish();
 }
 
-fn bench_workload_generator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workloads");
+fn bench_workload_generator(h: &mut Harness) {
+    h.group("workloads");
     let profile = by_name("gcc").expect("profile");
     let mut gen = TraceGenerator::new(profile, DomainId::new_unchecked(0), 0, 3);
-    g.bench_function("trace_next_event", |b| b.iter(|| gen.next_event()));
-    g.finish();
+    h.bench("trace_next_event", || gen.next_event());
 }
 
-criterion_group!(
-    benches,
-    bench_crypto,
-    bench_functional_secure_memory,
-    bench_caches_and_dram,
-    bench_nfl_and_forest,
-    bench_scheme_access_paths,
-    bench_workload_generator
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env("micro");
+    bench_crypto(&mut h);
+    bench_functional_secure_memory(&mut h);
+    bench_caches_and_dram(&mut h);
+    bench_nfl_and_forest(&mut h);
+    bench_scheme_access_paths(&mut h);
+    bench_workload_generator(&mut h);
+    h.finish();
+}

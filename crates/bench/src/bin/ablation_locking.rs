@@ -39,8 +39,8 @@ fn drive(lock_upper: bool) -> Outcome {
     let mut now = 0u64;
     for (di, d) in domains.iter().enumerate() {
         for i in 0..pages_per_domain {
-            now = scheme.page_alloc(now, &mut dram, PageNum::new(di as u64 * 2_000_000 + i), *d)
-                + 10;
+            now =
+                scheme.page_alloc(now, &mut dram, PageNum::new(di as u64 * 2_000_000 + i), *d) + 10;
         }
     }
     let zipf = Zipf::new(pages_per_domain as usize, 0.8);
@@ -85,10 +85,18 @@ fn main() {
          — potentially of different domains — and its cache residency becomes\n\
          cross-domain observable state: the MetaLeak channel returns at the\n\
          level above TreeLing roots.\n",
-        "metric", "locked", "unlocked",
-        "avg read latency (cycles)", locked.avg_read_latency, unlocked.avg_read_latency,
-        "avg verification path", locked.avg_path, unlocked.avg_path,
-        "metadata reads", locked.meta_reads, unlocked.meta_reads,
+        "metric",
+        "locked",
+        "unlocked",
+        "avg read latency (cycles)",
+        locked.avg_read_latency,
+        unlocked.avg_read_latency,
+        "avg verification path",
+        locked.avg_path,
+        unlocked.avg_path,
+        "metadata reads",
+        locked.meta_reads,
+        unlocked.meta_reads,
     );
     emit("ablation_locking.txt", &text);
     assert!(locked.avg_path > 0.0 && unlocked.avg_path > 0.0);

@@ -9,7 +9,10 @@ use ivl_workloads::mixes::mix_by_name;
 
 fn main() {
     let names: Vec<String> = {
-        let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--quick").collect();
+        let args: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| a != "--quick")
+            .collect();
         if args.is_empty() {
             vec!["S-1".into(), "M-1".into(), "L-1".into()]
         } else {
@@ -27,10 +30,26 @@ fn main() {
 
     for mix in &mixes {
         let base = find(&results, mix.name, SchemeKind::Baseline);
-        println!("\n=== {} (baseline wIPC {:.4}) ===", mix.name, base.weighted_ipc());
+        println!(
+            "\n=== {} (baseline wIPC {:.4}) ===",
+            mix.name,
+            base.weighted_ipc()
+        );
         println!(
             "{:<16} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>7} {:>6}",
-            "scheme", "normIPC", "path", "memacc", "ctr_hit", "tree_hit", "lmm_hit", "nflb_hit", "verifs", "promo", "missrate", "rdlat", "fail"
+            "scheme",
+            "normIPC",
+            "path",
+            "memacc",
+            "ctr_hit",
+            "tree_hit",
+            "lmm_hit",
+            "nflb_hit",
+            "verifs",
+            "promo",
+            "missrate",
+            "rdlat",
+            "fail"
         );
         for scheme in SchemeKind::MAIN {
             let r = find(&results, mix.name, scheme);

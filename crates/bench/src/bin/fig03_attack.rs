@@ -21,11 +21,7 @@ fn main() {
     for s in leak.samples.iter().take(26) {
         text.push_str(&format!(
             "{:>3}  {:>6}  {:>11} {:>12}  {:>5}\n",
-            s.bit,
-            s.truth as u8,
-            s.p1_latency,
-            s.p2_latency,
-            s.guess as u8
+            s.bit, s.truth as u8, s.p1_latency, s.p2_latency, s.guess as u8
         ));
     }
     text.push_str(&format!(

@@ -3,8 +3,8 @@
 //! slots under the NFL (17b).
 
 use ivl_bench::{emit, find, run_config, run_matrix};
-use ivl_simulator::SchemeKind;
 use ivl_sim_core::stats::gmean;
+use ivl_simulator::SchemeKind;
 use ivl_workloads::mixes::{MixClass, MIXES};
 
 fn main() {
@@ -43,8 +43,8 @@ fn main() {
                 // BV-v1 leaks cross-TreeLing frees; at the paper's 1B-
                 // instruction horizon (~100x our measured window) a nonzero
                 // leak rate exhausts the TreeLing supply.
-                leaking |= scheme == SchemeKind::BvV1
-                    && r.bv_leaked_slots.map(|l| l > 0).unwrap_or(false);
+                leaking |=
+                    scheme == SchemeKind::BvV1 && r.bv_leaked_slots.map(|l| l > 0).unwrap_or(false);
             }
             let g = gmean(&vals);
             cols.push(if failed {

@@ -4,16 +4,12 @@
 //! paper.
 
 use ivl_bench::{emit, find, run_config, run_matrix_on};
-use ivl_simulator::{run_mix_with_config, SchemeKind};
 use ivl_sim_core::config::SystemConfig;
 use ivl_sim_core::stats::gmean;
+use ivl_simulator::{run_mix_with_config, SchemeKind};
 use ivl_workloads::mixes::mix_by_name;
 
-const SCHEMES: [SchemeKind; 3] = [
-    SchemeKind::IvBasic,
-    SchemeKind::IvInvert,
-    SchemeKind::IvPro,
-];
+const SCHEMES: [SchemeKind; 3] = [SchemeKind::IvBasic, SchemeKind::IvInvert, SchemeKind::IvPro];
 
 fn main() {
     let run = run_config();
@@ -40,7 +36,11 @@ fn main() {
         "{:<22} {:>16} {:>16} {:>14}\n",
         "TreeLing", "IvLeague-Basic", "IvLeague-Invert", "IvLeague-Pro"
     ));
-    for (levels, label) in [(4usize, "16MiB(\"8MB\")"), (5, "128MiB(\"64MB\")"), (6, "1GiB(\"512MB\")")] {
+    for (levels, label) in [
+        (4usize, "16MiB(\"8MB\")"),
+        (5, "128MiB(\"64MB\")"),
+        (6, "1GiB(\"512MB\")"),
+    ] {
         let mut cfg = SystemConfig::default();
         cfg.ivleague.treeling_levels = levels;
         cfg.ivleague.treeling_count = match levels {

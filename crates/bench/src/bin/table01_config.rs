@@ -25,21 +25,34 @@ fn main() {
          TreeLing             : {} levels, {} pages ({} MiB) coverage; {} TreeLings\n\
          Hotpage tracker      : {} entries, {}-bit counters, threshold {}\n",
         c.core.cores,
-        c.core.l1.capacity_bytes / 1024, c.core.l1.ways,
-        c.core.l2.capacity_bytes / 1024, c.core.l2.ways,
-        c.llc.cache.capacity_bytes / (1024 * 1024), c.llc.cache.ways, c.llc.cache.hit_latency,
-        c.secure.aes_latency, c.secure.hash_latency,
-        c.dram.capacity_bytes >> 30, c.dram.channels, c.dram.ranks_per_channel, c.dram.banks_per_rank,
+        c.core.l1.capacity_bytes / 1024,
+        c.core.l1.ways,
+        c.core.l2.capacity_bytes / 1024,
+        c.core.l2.ways,
+        c.llc.cache.capacity_bytes / (1024 * 1024),
+        c.llc.cache.ways,
+        c.llc.cache.hit_latency,
+        c.secure.aes_latency,
+        c.secure.hash_latency,
+        c.dram.capacity_bytes >> 30,
+        c.dram.channels,
+        c.dram.ranks_per_channel,
+        c.dram.banks_per_rank,
         c.secure.mac_bytes,
         c.secure.tree_arity,
         c.secure.counter_cache.capacity_bytes / 1024,
         c.secure.tree_cache.capacity_bytes / 1024,
         c.secure.tree_cache.ways,
-        c.ivleague.lmm_cache_entries, c.ivleague.lmm_cache_ways,
+        c.ivleague.lmm_cache_entries,
+        c.ivleague.lmm_cache_ways,
         c.ivleague.nflb_entries_per_domain,
-        c.ivleague.treeling_levels, geometry.leaf_capacity(),
-        geometry.coverage_bytes() >> 20, c.ivleague.treeling_count,
-        c.ivleague.tracker_entries, c.ivleague.tracker_counter_bits, c.ivleague.hot_threshold,
+        c.ivleague.treeling_levels,
+        geometry.leaf_capacity(),
+        geometry.coverage_bytes() >> 20,
+        c.ivleague.treeling_count,
+        c.ivleague.tracker_entries,
+        c.ivleague.tracker_counter_bits,
+        c.ivleague.hot_threshold,
     );
     emit("table01_config.txt", &text);
 }

@@ -7,7 +7,10 @@ use ivl_sim_core::config::SystemConfig;
 fn main() {
     let cost = hardware_cost(&SystemConfig::default());
     let mut text = String::from("Table III: On-chip hardware cost (45 nm)\n");
-    text.push_str(&format!("{:<36} {:>12} {:>12}\n", "Component", "Storage", "Area"));
+    text.push_str(&format!(
+        "{:<36} {:>12} {:>12}\n",
+        "Component", "Storage", "Area"
+    ));
     for r in &cost.rows {
         let storage = if r.storage_bytes >= 1024 {
             format!("{:.0} KiB", r.storage_bytes as f64 / 1024.0)

@@ -4,21 +4,20 @@
 //! DESIGN.md's experiment index); each prints the rows/series the paper
 //! reports and writes the same text under `target/figures/`. The heavy
 //! simulations (Figures 15/16/18/19 share the same 16 mixes × 4 schemes
-//! runs) execute in parallel across mixes with crossbeam scoped threads.
+//! runs) execute in parallel across (mix, scheme) jobs on the testkit's
+//! scoped-thread runner.
 
 use std::io::Write as _;
 use std::path::PathBuf;
 
 use ivl_simulator::{run_mix, MixResult, RunConfig, SchemeKind};
 use ivl_workloads::mixes::{Mix, MIXES};
-use parking_lot::Mutex;
 
 /// Where figure text outputs land.
 pub mod perf;
 
 pub fn figures_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/figures");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
     std::fs::create_dir_all(&dir).expect("create target/figures");
     dir
 }
@@ -35,7 +34,9 @@ pub fn emit(name: &str, content: &str) {
 /// Whether quick mode was requested (`IVL_QUICK=1` or `--quick`): shorter
 /// runs for smoke-testing the harness.
 pub fn quick_mode() -> bool {
-    std::env::var("IVL_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("IVL_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
         || std::env::args().any(|a| a == "--quick")
 }
 
@@ -60,41 +61,12 @@ pub fn run_matrix(schemes: &[SchemeKind], run: &RunConfig) -> Vec<MixResult> {
 
 /// Runs a selected set of mixes under every scheme in `schemes`.
 pub fn run_matrix_on(mixes: &[Mix], schemes: &[SchemeKind], run: &RunConfig) -> Vec<MixResult> {
-    let jobs: Vec<(usize, &Mix, SchemeKind)> = mixes
+    let jobs: Vec<(&Mix, SchemeKind)> = mixes
         .iter()
-        .enumerate()
-        .flat_map(|(mi, m)| {
-            schemes
-                .iter()
-                .enumerate()
-                .map(move |(si, s)| (mi * schemes.len() + si, m, *s))
-        })
+        .flat_map(|m| schemes.iter().map(move |s| (m, *s)))
         .collect();
-    let results: Mutex<Vec<Option<MixResult>>> = Mutex::new(vec![None; jobs.len()]);
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (slot, mix, scheme) = jobs[i];
-                let r = run_mix(mix, scheme, run);
-                results.lock()[slot] = Some(r);
-            });
-        }
-    })
-    .expect("worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every job completed"))
-        .collect()
+    let workers = ivl_testkit::par::available_workers();
+    ivl_testkit::par::map_parallel(&jobs, workers, |(mix, scheme)| run_mix(mix, *scheme, run))
 }
 
 /// Finds the result for (mix, scheme) in a `run_matrix` output.
@@ -124,7 +96,10 @@ mod tests {
         let mixes = [*ivl_workloads::mixes::mix_by_name("S-1").unwrap()];
         let results = run_matrix_on(&mixes, &[SchemeKind::Baseline, SchemeKind::IvPro], &run);
         assert_eq!(results.len(), 2);
-        assert_eq!(find(&results, "S-1", SchemeKind::IvPro).scheme, SchemeKind::IvPro);
+        assert_eq!(
+            find(&results, "S-1", SchemeKind::IvPro).scheme,
+            SchemeKind::IvPro
+        );
     }
 
     #[test]

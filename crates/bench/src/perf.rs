@@ -1,8 +1,8 @@
 //! Formatters for the performance figures (15, 16, 18, 19) that share the
 //! 16-mix × 4-scheme simulation matrix.
 
-use ivl_simulator::{MixResult, SchemeKind};
 use ivl_sim_core::stats::gmean;
+use ivl_simulator::{MixResult, SchemeKind};
 use ivl_workloads::mixes::{MixClass, MIXES};
 use ivl_workloads::profiles::BENCHMARKS;
 

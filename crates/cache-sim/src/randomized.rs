@@ -64,8 +64,14 @@ impl RandomizedCache {
     ///
     /// Panics unless `sets` is an even power of two and `ways` is even.
     pub fn new(sets: usize, ways: usize, seed: u64) -> Self {
-        assert!(sets >= 2 && sets.is_power_of_two(), "sets must be a power of two >= 2");
-        assert!(ways >= 2 && ways % 2 == 0, "ways must be even and >= 2");
+        assert!(
+            sets >= 2 && sets.is_power_of_two(),
+            "sets must be a power of two >= 2"
+        );
+        assert!(
+            ways >= 2 && ways.is_multiple_of(2),
+            "ways must be even and >= 2"
+        );
         // Each skew keeps every set but half the ways, so total capacity is
         // exactly `sets * ways` lines.
         let sets_per_skew = sets;
@@ -92,7 +98,7 @@ impl RandomizedCache {
     /// Panics if the geometry is inconsistent.
     pub fn with_geometry(capacity_bytes: usize, ways: usize, line_bytes: usize, seed: u64) -> Self {
         let lines = capacity_bytes / line_bytes;
-        assert!(lines % ways == 0, "capacity must divide into ways");
+        assert!(lines.is_multiple_of(ways), "capacity must divide into ways");
         Self::new(lines / ways, ways, seed)
     }
 
@@ -178,7 +184,9 @@ impl CacheModel for RandomizedCache {
     fn probe(&self, key: u64) -> bool {
         (0..2).any(|skew| {
             let range = self.set_range(skew, key);
-            self.lines[skew][range].iter().any(|l| l.valid && l.key == key)
+            self.lines[skew][range]
+                .iter()
+                .any(|l| l.valid && l.key == key)
         })
     }
 

@@ -52,7 +52,10 @@ impl SetAssocCache {
     ///
     /// Panics if `sets` is not a power of two or either parameter is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be positive");
         SetAssocCache {
             sets,
@@ -69,7 +72,7 @@ impl SetAssocCache {
     /// Panics if the geometry is inconsistent (see [`new`](Self::new)).
     pub fn with_geometry(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
         let lines = capacity_bytes / line_bytes;
-        assert!(lines % ways == 0, "capacity must divide into ways");
+        assert!(lines.is_multiple_of(ways), "capacity must divide into ways");
         Self::new(lines / ways, ways)
     }
 

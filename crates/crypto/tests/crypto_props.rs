@@ -3,9 +3,9 @@
 use ivl_crypto::ctr::CtrEngine;
 use ivl_crypto::mac::MacEngine;
 use ivl_crypto::siphash::{siphash24, SipKey};
-use proptest::prelude::*;
+use ivl_testkit::prelude::*;
 
-proptest! {
+props! {
     #[test]
     fn ctr_round_trips_any_block(
         key in any::<[u8; 16]>(),
@@ -54,7 +54,7 @@ proptest! {
     }
 
     #[test]
-    fn siphash_distinct_on_suffix_extension(data in prop::collection::vec(any::<u8>(), 0..64)) {
+    fn siphash_distinct_on_suffix_extension(data in vec(any::<u8>(), 0..64)) {
         let key = SipKey::from_bytes([1u8; 16]);
         let mut extended = data.clone();
         extended.push(0);

@@ -234,9 +234,7 @@ mod tests {
         // A different-bank access on the same channel overlaps its array
         // access with the earlier bursts and pays at most one extra burst.
         let banks = (d.config().ranks_per_channel * d.config().banks_per_rank) as u64;
-        let other_bank = BlockAddr::new(
-            (cfg.row_bytes / BLOCK_BYTES) as u64 * cfg.channels as u64,
-        );
+        let other_bank = BlockAddr::new((cfg.row_bytes / BLOCK_BYTES) as u64 * cfg.channels as u64);
         assert_ne!(d.coord(b).bank, d.coord(other_bank).bank);
         let _ = banks;
         let done3 = d.access(0, other_bank, false);

@@ -354,7 +354,10 @@ mod tests {
         assert!(!out.leaked);
         // V2 finds it again by scanning across TreeLings oldest-first.
         let re = bv.map_page(d(0), p(1000)).unwrap();
-        assert_eq!(re.slot, out.slot, "cross-TreeLing scan finds the freed slot");
+        assert_eq!(
+            re.slot, out.slot,
+            "cross-TreeLing scan finds the freed slot"
+        );
         assert!(re.blocks_scanned >= 1);
     }
 
@@ -379,9 +382,8 @@ mod tests {
         // starvation even though plenty of slots are logically free.
         let mut bv = alloc(BvVariant::V1, 3);
         let mut failed = false;
-        let mut next = 0u64;
         let mut live = Vec::new();
-        for _ in 0..600 {
+        for next in 0u64..600 {
             match bv.map_page(d(0), p(next)) {
                 Ok(_) => live.push(p(next)),
                 Err(_) => {
@@ -389,7 +391,6 @@ mod tests {
                     break;
                 }
             }
-            next += 1;
             if live.len() > 100 {
                 let victim = live.remove(0);
                 bv.unmap_page(d(0), victim).unwrap();
@@ -402,12 +403,10 @@ mod tests {
     #[test]
     fn v2_survives_the_same_churn() {
         let mut bv = alloc(BvVariant::V2, 3);
-        let mut next = 0u64;
         let mut live = Vec::new();
-        for _ in 0..600 {
+        for next in 0u64..600 {
             bv.map_page(d(0), p(next)).expect("BV-v2 must not exhaust");
             live.push(p(next));
-            next += 1;
             if live.len() > 100 {
                 let victim = live.remove(0);
                 bv.unmap_page(d(0), victim).unwrap();

@@ -27,7 +27,11 @@ pub struct StarvationError {
 
 impl std::fmt::Display for StarvationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "TreeLing starvation: no unassigned TreeLing for {}", self.domain)
+        write!(
+            f,
+            "TreeLing starvation: no unassigned TreeLing for {}",
+            self.domain
+        )
     }
 }
 

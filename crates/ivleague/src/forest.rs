@@ -423,14 +423,12 @@ impl Forest {
                 // (§VII-B). Filling is reversed so depth extension converts
                 // the coldest (last-filled) slots first.
                 let level = frontier;
-                let reserved = if self.cfg.variant == IvVariant::Pro
-                    && level == 2
-                    && level < g.levels
-                {
-                    self.cfg.hot_top_nodes * g.arity.pow(g.levels - 1 - level)
-                } else {
-                    0
-                };
+                let reserved =
+                    if self.cfg.variant == IvVariant::Pro && level == 2 && level < g.levels {
+                        self.cfg.hot_top_nodes * g.arity.pow(g.levels - 1 - level)
+                    } else {
+                        0
+                    };
                 for i in (reserved..g.nodes_at_level(level)).rev() {
                     keys.push(self.node_key(treeling, TlNode { level, index: i }));
                 }
@@ -517,7 +515,11 @@ impl Forest {
                     slots[base + s] = SlotContent::Free;
                 }
             }
-            Some(Nfl::new(order, g.arity as u8, self.cfg.nfl_entries_per_block))
+            Some(Nfl::new(
+                order,
+                g.arity as u8,
+                self.cfg.nfl_entries_per_block,
+            ))
         } else {
             None
         };
@@ -570,11 +572,7 @@ impl Forest {
     fn alloc_top(&mut self, domain: DomainId, ops: &mut Vec<TaggedNflOp>) -> Option<LeafSlot> {
         let owned: Vec<TreeLingId> = self.controller.treelings_of(domain).to_vec();
         for &tid in owned.iter().rev() {
-            loop {
-                let alloc = match self.treelings.get_mut(&tid).and_then(|t| t.nfl.alloc()) {
-                    Some(a) => a,
-                    None => break,
-                };
+            while let Some(alloc) = self.treelings.get_mut(&tid).and_then(|t| t.nfl.alloc()) {
                 for op in &alloc.ops {
                     ops.push(TaggedNflOp {
                         treeling: tid,
@@ -602,16 +600,12 @@ impl Forest {
     fn alloc_depth(&mut self, domain: DomainId, ops: &mut Vec<TaggedNflOp>) -> Option<LeafSlot> {
         let owned: Vec<TreeLingId> = self.controller.treelings_of(domain).to_vec();
         for &tid in owned.iter().rev() {
-            loop {
-                let alloc = match self
-                    .treelings
-                    .get_mut(&tid)
-                    .and_then(|t| t.nfl_depth.as_mut())
-                    .and_then(Nfl::alloc)
-                {
-                    Some(a) => a,
-                    None => break,
-                };
+            while let Some(alloc) = self
+                .treelings
+                .get_mut(&tid)
+                .and_then(|t| t.nfl_depth.as_mut())
+                .and_then(Nfl::alloc)
+            {
                 for op in &alloc.ops {
                     ops.push(TaggedNflOp {
                         treeling: tid,
@@ -844,13 +838,21 @@ impl Forest {
             match nfl.free(key, slot.slot) {
                 FreeOutcome::Tracked(o) => {
                     for op in o {
-                        ops.push(TaggedNflOp { treeling: tid, op, region });
+                        ops.push(TaggedNflOp {
+                            treeling: tid,
+                            op,
+                            region,
+                        });
                     }
                     return false;
                 }
                 FreeOutcome::Fallback(o) => {
                     for op in o {
-                        ops.push(TaggedNflOp { treeling: tid, op, region });
+                        ops.push(TaggedNflOp {
+                            treeling: tid,
+                            op,
+                            region,
+                        });
                     }
                 }
             }
@@ -899,16 +901,12 @@ impl Forest {
         let owned: Vec<TreeLingId> = self.controller.treelings_of(domain).to_vec();
         let mut to = None;
         'outer: for &tid in owned.iter().rev() {
-            loop {
-                let alloc = match self
-                    .treelings
-                    .get_mut(&tid)
-                    .and_then(|t| t.nfl_hot.as_mut())
-                    .and_then(|n| n.alloc())
-                {
-                    Some(a) => a,
-                    None => break,
-                };
+            while let Some(alloc) = self
+                .treelings
+                .get_mut(&tid)
+                .and_then(|t| t.nfl_hot.as_mut())
+                .and_then(|n| n.alloc())
+            {
                 for op in &alloc.ops {
                     ops.push(TaggedNflOp {
                         treeling: tid,
@@ -945,7 +943,11 @@ impl Forest {
         self.page_map.insert(page, to);
         self.bump_mapped(to.treeling, 1);
         self.stats.promotions += 1;
-        Some(MigrateOutcome { from, to, nfl_ops: ops })
+        Some(MigrateOutcome {
+            from,
+            to,
+            nfl_ops: ops,
+        })
     }
 
     /// Migrates `page` back to the regular region (demotion).
@@ -972,7 +974,11 @@ impl Forest {
         self.page_map.insert(page, to);
         self.bump_mapped(to.treeling, 1);
         self.stats.demotions += 1;
-        Some(MigrateOutcome { from, to, nfl_ops: ops })
+        Some(MigrateOutcome {
+            from,
+            to,
+            nfl_ops: ops,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1107,10 +1113,7 @@ mod tests {
     #[test]
     fn unmap_errors() {
         let mut f = Forest::new(ForestConfig::small_for_tests(IvVariant::Basic));
-        assert_eq!(
-            f.unmap_page(d(0), p(9)),
-            Err(ForestError::NotMapped(p(9)))
-        );
+        assert_eq!(f.unmap_page(d(0), p(9)), Err(ForestError::NotMapped(p(9))));
         f.map_page(d(0), p(9)).unwrap();
         assert_eq!(
             f.unmap_page(d(1), p(9)),

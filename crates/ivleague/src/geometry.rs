@@ -270,7 +270,10 @@ mod tests {
     #[test]
     fn parent_child_round_trip() {
         let g = geom();
-        let leaf = TlNode { level: 1, index: 137 };
+        let leaf = TlNode {
+            level: 1,
+            index: 137,
+        };
         let parent = g.parent(leaf).unwrap();
         assert_eq!(parent.level, 2);
         assert_eq!(parent.index, 17);
@@ -287,7 +290,13 @@ mod tests {
         assert_eq!(g.node_offset(TlNode { level: 3, index: 0 }), 1);
         assert_eq!(g.node_offset(TlNode { level: 3, index: 7 }), 8);
         assert_eq!(g.node_offset(TlNode { level: 2, index: 0 }), 9);
-        assert_eq!(g.node_offset(TlNode { level: 1, index: 511 }), 584);
+        assert_eq!(
+            g.node_offset(TlNode {
+                level: 1,
+                index: 511
+            }),
+            584
+        );
     }
 
     #[test]
@@ -305,7 +314,13 @@ mod tests {
     #[test]
     fn layout_addresses_disjoint_across_treelings() {
         let layout = TreeLingLayout::new(geom(), 16, 1000);
-        let a = layout.node_block(TreeLingId(0), TlNode { level: 1, index: 511 });
+        let a = layout.node_block(
+            TreeLingId(0),
+            TlNode {
+                level: 1,
+                index: 511,
+            },
+        );
         let b = layout.node_block(TreeLingId(1), TlNode { level: 4, index: 0 });
         assert_eq!(a.index() + 1, b.index());
     }

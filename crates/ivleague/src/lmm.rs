@@ -64,7 +64,10 @@ impl LmmCache {
     ///
     /// Panics if the geometry does not form a power-of-two set count.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(entries % ways == 0, "entries must divide into ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must divide into ways"
+        );
         LmmCache {
             cache: SetAssocCache::new(entries / ways, ways),
             stats: HitMiss::new(),
@@ -98,8 +101,14 @@ mod tests {
     #[test]
     fn pte_blocks_pack_four_ptes() {
         let base = 500;
-        assert_eq!(pte_block(base, PageNum::new(0)), pte_block(base, PageNum::new(3)));
-        assert_ne!(pte_block(base, PageNum::new(3)), pte_block(base, PageNum::new(4)));
+        assert_eq!(
+            pte_block(base, PageNum::new(0)),
+            pte_block(base, PageNum::new(3))
+        );
+        assert_ne!(
+            pte_block(base, PageNum::new(3)),
+            pte_block(base, PageNum::new(4))
+        );
     }
 
     #[test]

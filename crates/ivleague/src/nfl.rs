@@ -200,11 +200,7 @@ impl Nfl {
         let head = self.head.min(self.blocks.len() - 1);
 
         // Case (d): in-place update on a tag match in the current block.
-        if let Some(entry) = self.blocks[head]
-            .entries
-            .iter_mut()
-            .find(|e| e.tag == tag)
-        {
+        if let Some(entry) = self.blocks[head].entries.iter_mut().find(|e| e.tag == tag) {
             entry.avail |= 1 << slot;
             self.free_tracked += 1;
             ops.push(NflOp {
@@ -221,11 +217,7 @@ impl Nfl {
             block: head as u32,
             write: false,
         });
-        if let Some(entry) = self.blocks[head]
-            .entries
-            .iter_mut()
-            .find(|e| e.avail == 0)
-        {
+        if let Some(entry) = self.blocks[head].entries.iter_mut().find(|e| e.avail == 0) {
             *entry = Entry {
                 tag,
                 avail: 1 << slot,

@@ -111,7 +111,12 @@ mod tests {
             tag: 1u64 << TAG_BITS,
             avail: 0,
         };
-        assert_eq!(e.pack(), Err(TagOverflow { tag: 1u64 << TAG_BITS }));
+        assert_eq!(
+            e.pack(),
+            Err(TagOverflow {
+                tag: 1u64 << TAG_BITS
+            })
+        );
         assert!(!format!("{}", e.pack().unwrap_err()).is_empty());
     }
 

@@ -147,12 +147,15 @@ impl IvLeagueSubsystem {
         // Region budgets: top (intermediate levels), depth (leaves), hot.
         let top_blocks = (geometry.nodes_per_treeling() as u64).div_ceil(epb);
         let depth_blocks = (geometry.nodes_at_level(1) as u64).div_ceil(epb).max(1);
-        let hot_blocks = (geometry.nodes_per_treeling() as u64 / 4).div_ceil(epb).max(1);
-        let nfl_base = tl_layout.node_block(
-            TreeLingId(0),
-            crate::geometry::TlNode { level: 1, index: 0 },
-        )
-        .index()
+        let hot_blocks = (geometry.nodes_per_treeling() as u64 / 4)
+            .div_ceil(epb)
+            .max(1);
+        let nfl_base = tl_layout
+            .node_block(
+                TreeLingId(0),
+                crate::geometry::TlNode { level: 1, index: 0 },
+            )
+            .index()
             + tl_layout.total_blocks();
         let nfl_stride = top_blocks + depth_blocks + hot_blocks;
         let pt_base = nfl_base + forest_cfg.treeling_count as u64 * nfl_stride;
@@ -186,10 +189,7 @@ impl IvLeagueSubsystem {
             ),
             tree_cache,
             mac_cache: SetAssocCache::with_geometry(32 * 1024, 8, 64),
-            lmm_cache: LmmCache::new(
-                cfg.ivleague.lmm_cache_entries,
-                cfg.ivleague.lmm_cache_ways,
-            ),
+            lmm_cache: LmmCache::new(cfg.ivleague.lmm_cache_entries, cfg.ivleague.lmm_cache_ways),
             nflb: HashMap::new(),
             trackers: HashMap::new(),
             nfl_base,
@@ -344,13 +344,7 @@ impl IvLeagueSubsystem {
 
     /// Verification walk from the mapped slot to the TreeLing root; stops
     /// at the first cached node or at the locked upper structure.
-    fn walk(
-        &mut self,
-        now: Cycle,
-        dram: &mut DramModel,
-        slot: LeafSlot,
-        is_write: bool,
-    ) -> Cycle {
+    fn walk(&mut self, now: Cycle, dram: &mut DramModel, slot: LeafSlot, is_write: bool) -> Cycle {
         let g = self.tl_layout.geometry();
         let mut t = now;
         let mut path_len = 0u64;
@@ -383,9 +377,9 @@ impl IvLeagueSubsystem {
             } else {
                 // Ablation: the upper block is ordinary evictable metadata
                 // (and shared across domains — the side channel returns).
-                let upper = self.tl_layout.upper_structure_blocks()
-                    [(slot.treeling.0 as usize / g.arity as usize)
-                        .min(self.tl_layout.upper_structure_blocks().len() - 1)];
+                let upper = self.tl_layout.upper_structure_blocks()[(slot.treeling.0 as usize
+                    / g.arity as usize)
+                    .min(self.tl_layout.upper_structure_blocks().len() - 1)];
                 let hit = self.tree_cache.probe(upper.index());
                 let out = self.tree_cache.access(upper.index(), is_write);
                 self.stats.tree_cache.record(hit);
@@ -416,17 +410,14 @@ impl IvLeagueSubsystem {
             return;
         }
         let ivcfg = &self.cfg.ivleague;
-        let tracker = self
-            .trackers
-            .entry(domain)
-            .or_insert_with(|| {
-                HotpageTracker::new(
-                    ivcfg.tracker_entries,
-                    ivcfg.tracker_counter_bits,
-                    ivcfg.hot_threshold,
-                    ivcfg.tracker_clear_interval,
-                )
-            });
+        let tracker = self.trackers.entry(domain).or_insert_with(|| {
+            HotpageTracker::new(
+                ivcfg.tracker_entries,
+                ivcfg.tracker_counter_bits,
+                ivcfg.hot_threshold,
+                ivcfg.tracker_clear_interval,
+            )
+        });
         let events = tracker.record(page);
         for event in events {
             let outcome = match (&mut self.mapper, event) {

@@ -133,9 +133,7 @@ impl HotpageTracker {
 
     /// Whether `page` is currently marked hot.
     pub fn is_hot(&self, page: PageNum) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.page == page && e.promoted)
+        self.entries.iter().any(|e| e.page == page && e.promoted)
     }
 
     /// Number of tracked pages.
@@ -205,9 +203,9 @@ mod tests {
         }
         t.record(p(2)); // 4th access
         t.record(p(2)); // 5th access triggers clear first, then counts
-        // p(1)'s counter was cleared; three more accesses stay below the
-        // threshold again (clear interval keeps resetting long streaks of
-        // slow pages).
+                        // p(1)'s counter was cleared; three more accesses stay below the
+                        // threshold again (clear interval keeps resetting long streaks of
+                        // slow pages).
         let ev = t.record(p(1));
         assert!(ev.is_empty());
     }

@@ -114,8 +114,18 @@ pub struct IvMemory {
 impl IvMemory {
     /// Creates an IvLeague-protected memory for `variant` with the three
     /// processor keys (encryption, MAC, tree).
-    pub fn new(variant: IvVariant, enc_key: [u8; 16], mac_key: [u8; 16], tree_key: [u8; 16]) -> Self {
-        Self::with_config(ForestConfig::small_for_tests(variant), enc_key, mac_key, tree_key)
+    pub fn new(
+        variant: IvVariant,
+        enc_key: [u8; 16],
+        mac_key: [u8; 16],
+        tree_key: [u8; 16],
+    ) -> Self {
+        Self::with_config(
+            ForestConfig::small_for_tests(variant),
+            enc_key,
+            mac_key,
+            tree_key,
+        )
     }
 
     /// Creates a memory over an explicit forest configuration.
@@ -148,7 +158,10 @@ impl IvMemory {
     }
 
     fn slots(&self, key: (TreeLingId, TlNode)) -> Vec<u64> {
-        self.nodes.get(&key).cloned().unwrap_or_else(|| vec![0; self.arity])
+        self.nodes
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.arity])
     }
 
     fn set_slot(&mut self, key: (TreeLingId, TlNode), slot: usize, value: u64) {
@@ -183,11 +196,7 @@ impl IvMemory {
         let mut node = slot.node;
         while let Some(parent) = g.parent(node) {
             let h = self.node_hash((slot.treeling, node));
-            self.set_slot(
-                (slot.treeling, parent),
-                g.slot_in_parent(node) as usize,
-                h,
-            );
+            self.set_slot((slot.treeling, parent), g.slot_in_parent(node) as usize, h);
             node = parent;
         }
         debug_assert_eq!(node.level, self.root_level);
@@ -284,9 +293,12 @@ impl IvMemory {
             }
         }
         let mut ct = *plaintext;
-        self.enc.encrypt_block(block.index(), outcome.counter, &mut ct);
-        self.macs
-            .insert(block, self.mac.data_mac(block.index(), outcome.counter, &ct));
+        self.enc
+            .encrypt_block(block.index(), outcome.counter, &mut ct);
+        self.macs.insert(
+            block,
+            self.mac.data_mac(block.index(), outcome.counter, &ct),
+        );
         self.data.insert(block, ct);
         self.reanchor(page);
         Ok(())
@@ -298,7 +310,11 @@ impl IvMemory {
     ///
     /// [`IvMemoryError::NotPresent`] / [`IvMemoryError::MacMismatch`] /
     /// [`IvMemoryError::TreeMismatch`] / [`IvMemoryError::WrongDomain`].
-    pub fn read_block(&self, domain: DomainId, block: BlockAddr) -> Result<[u8; 64], IvMemoryError> {
+    pub fn read_block(
+        &self,
+        domain: DomainId,
+        block: BlockAddr,
+    ) -> Result<[u8; 64], IvMemoryError> {
         let page = block.page();
         let slot = self.forest.slot_of(page).ok_or(IvMemoryError::NotMapped)?;
         // The TLB/EPC machinery prevents cross-domain reads; model it here.
@@ -416,7 +432,10 @@ mod tests {
         m.rollback_counters(PageNum::new(1));
         let err = m.read_block(d(1), b).unwrap_err();
         assert!(
-            matches!(err, IvMemoryError::MacMismatch | IvMemoryError::TreeMismatch { .. }),
+            matches!(
+                err,
+                IvMemoryError::MacMismatch | IvMemoryError::TreeMismatch { .. }
+            ),
             "{err:?}"
         );
     }
@@ -446,7 +465,8 @@ mod tests {
     fn domains_verify_through_disjoint_nodes() {
         let mut m = mem(IvVariant::Invert);
         for i in 0..16u64 {
-            m.write_block(d(1), PageNum::new(i).block(0), &[1u8; 64]).unwrap();
+            m.write_block(d(1), PageNum::new(i).block(0), &[1u8; 64])
+                .unwrap();
             m.write_block(d(2), PageNum::new(100 + i).block(0), &[2u8; 64])
                 .unwrap();
         }

@@ -1,9 +1,9 @@
 //! Property tests on TreeLing geometry arithmetic.
 
+use ivl_testkit::prelude::*;
 use ivleague::geometry::{TlNode, TreeLingGeometry, TreeLingId, TreeLingLayout};
-use proptest::prelude::*;
 
-proptest! {
+props! {
     #[test]
     fn offset_round_trip(arity in 2u32..9, levels in 1u32..6, seed in any::<u32>()) {
         let g = TreeLingGeometry::new(arity, levels);
@@ -56,8 +56,13 @@ proptest! {
 fn upper_structure_disjoint_from_treeling_nodes() {
     let g = TreeLingGeometry::new(8, 4);
     let layout = TreeLingLayout::new(g, 64, 0);
-    let max_tl_block = layout
-        .node_block(TreeLingId(63), TlNode { level: 1, index: g.nodes_at_level(1) - 1 });
+    let max_tl_block = layout.node_block(
+        TreeLingId(63),
+        TlNode {
+            level: 1,
+            index: g.nodes_at_level(1) - 1,
+        },
+    );
     for b in layout.upper_structure_blocks() {
         assert!(b.index() > max_tl_block.index());
     }

@@ -356,7 +356,7 @@ mod tests {
     #[test]
     fn writes_do_not_stall_like_reads() {
         let (mut s, mut dram) = setup();
-        let r = s.data_access(0, &mut dram, BlockAddr::new(0), d0(), false) - 0;
+        let r = s.data_access(0, &mut dram, BlockAddr::new(0), d0(), false);
         let w_start = 1_000_000;
         let w = s.data_access(w_start, &mut dram, BlockAddr::new(64 * 100), d0(), true) - w_start;
         assert!(w <= r, "write acceptance {w} should not exceed read {r}");

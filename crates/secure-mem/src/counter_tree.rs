@@ -184,7 +184,10 @@ impl CounterTree {
             let counters = self.nodes[&node].counters;
             let parent = self.parent_counter(node);
             let mac = self.node_mac(node, &counters, parent);
-            self.nodes.get_mut(&node).expect("just touched").embedded_mac = mac;
+            self.nodes
+                .get_mut(&node)
+                .expect("just touched")
+                .embedded_mac = mac;
             idx = node.index;
         }
         version

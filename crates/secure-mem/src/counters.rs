@@ -176,7 +176,7 @@ mod tests {
         let out = s.increment(b);
         assert!(out.page_reencryption);
         assert_eq!(out.counter, MINOR_LIMIT); // major=1, minor=0
-        // Sibling minor was reset, but its logical counter moved forward.
+                                              // Sibling minor was reset, but its logical counter moved forward.
         assert_eq!(s.counter_of(BlockAddr::new(1)), MINOR_LIMIT);
     }
 
@@ -206,8 +206,10 @@ mod tests {
 
     #[test]
     fn serialization_captures_major_and_minors() {
-        let mut cb = CounterBlock::default();
-        cb.major = 0x0102_0304;
+        let mut cb = CounterBlock {
+            major: 0x0102_0304,
+            ..Default::default()
+        };
         cb.minors[0] = 7;
         let bytes = cb.to_bytes();
         assert_eq!(bytes[0], 0x04);

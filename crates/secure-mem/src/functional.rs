@@ -164,9 +164,12 @@ impl SecureMemory {
         }
 
         let mut ct = *plaintext;
-        self.enc.encrypt_block(block.index(), outcome.counter, &mut ct);
-        self.macs
-            .insert(block, self.mac.data_mac(block.index(), outcome.counter, &ct));
+        self.enc
+            .encrypt_block(block.index(), outcome.counter, &mut ct);
+        self.macs.insert(
+            block,
+            self.mac.data_mac(block.index(), outcome.counter, &ct),
+        );
         self.data.insert(block, ct);
         self.tree.update_page(page, &self.counters.block_of(page));
         Ok(())
@@ -205,8 +208,7 @@ impl SecureMemory {
             self.macs.remove(&b);
         }
         self.counters.forget_page(page);
-        self.tree
-            .update_page(page, &self.counters.block_of(page));
+        self.tree.update_page(page, &self.counters.block_of(page));
     }
 
     // ------------------------------------------------------------------
@@ -386,10 +388,7 @@ mod tests {
         let page = PageNum::new(2);
         m.write_block(page.block(0), &[5u8; 64]).unwrap();
         m.dealloc_page(page);
-        assert_eq!(
-            m.read_block(page.block(0)),
-            Err(IntegrityError::NotPresent)
-        );
+        assert_eq!(m.read_block(page.block(0)), Err(IntegrityError::NotPresent));
         // Fresh allocation works again.
         m.write_block(page.block(0), &[6u8; 64]).unwrap();
         assert_eq!(m.read_block(page.block(0)).unwrap(), [6u8; 64]);

@@ -122,10 +122,7 @@ impl MerkleTree {
 
     fn set_slot(&mut self, node: NodeId, slot: usize, value: u64) {
         let arity = self.layout.arity() as usize;
-        let slots = self
-            .nodes
-            .entry(node)
-            .or_insert_with(|| vec![0; arity]);
+        let slots = self.nodes.entry(node).or_insert_with(|| vec![0; arity]);
         slots[slot] = value;
     }
 
@@ -176,10 +173,7 @@ impl MerkleTree {
     /// Tampers with an in-memory node slot (attack modeling / tests).
     pub fn tamper_slot(&mut self, node: NodeId, slot: usize, xor: u64) {
         let arity = self.layout.arity() as usize;
-        let slots = self
-            .nodes
-            .entry(node)
-            .or_insert_with(|| vec![0; arity]);
+        let slots = self.nodes.entry(node).or_insert_with(|| vec![0; arity]);
         slots[slot] ^= xor;
     }
 
@@ -244,7 +238,7 @@ mod tests {
         let mut t = tree();
         t.update_page(PageNum::new(5), &cb(1));
         let leaf = t.layout().leaf_covering(5);
-        t.tamper_slot(leaf, 5 % 8, 0x1);
+        t.tamper_slot(leaf, 5, 0x1);
         assert!(matches!(
             t.verify_page(PageNum::new(5), &cb(1)),
             Err(VerifyError::LeafMismatch { .. })

@@ -3,9 +3,9 @@
 
 use ivl_secure_mem::layout::MetadataLayout;
 use ivl_sim_core::addr::{BlockAddr, PageNum, BLOCKS_PER_PAGE};
-use proptest::prelude::*;
+use ivl_testkit::prelude::*;
 
-proptest! {
+props! {
     #[test]
     fn metadata_regions_disjoint(pages in 1u64..200_000, arity in 2usize..17) {
         let l = MetadataLayout::new(pages, arity);

@@ -57,10 +57,9 @@ impl SchemeKind {
     /// Builds the integrity subsystem for this scheme.
     pub fn build(self, cfg: &SystemConfig) -> SchemeInstance {
         match self {
-            SchemeKind::Baseline => SchemeInstance::Baseline(GlobalBmtSubsystem::new(
-                &cfg.secure,
-                cfg.total_pages(),
-            )),
+            SchemeKind::Baseline => {
+                SchemeInstance::Baseline(GlobalBmtSubsystem::new(&cfg.secure, cfg.total_pages()))
+            }
             SchemeKind::IvBasic => SchemeInstance::Iv(IvLeagueSubsystem::new(
                 cfg,
                 IvVariant::Basic,
@@ -93,6 +92,9 @@ impl SchemeKind {
 
 /// A concrete scheme instance; an enum (rather than `Box<dyn …>`) so the
 /// runner can reach scheme-specific state (forest utilization) afterwards.
+// Only a handful of instances exist per run, so the size skew between
+// variants costs nothing; boxing would just add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum SchemeInstance {
     /// Global-BMT baseline.
@@ -355,7 +357,7 @@ pub fn run_mix_with_config(
                 .iter()
                 .map(|c| format!("{}:{}", c.benchmark, c.accesses))
                 .collect();
-            if cores[0].accesses % 100_000 == 0 && cores[0].accesses > 0 {
+            if cores[0].accesses.is_multiple_of(100_000) && cores[0].accesses > 0 {
                 eprintln!("warm? {}", states.join(" "));
             }
         }
@@ -426,7 +428,13 @@ pub fn run_mix_with_config(
                     continue;
                 }
                 // LLC miss: the secure memory path.
-                let done = scheme.as_subsystem().data_access(core.now, &mut dram, block, core.domain, is_write);
+                let done = scheme.as_subsystem().data_access(
+                    core.now,
+                    &mut dram,
+                    block,
+                    core.domain,
+                    is_write,
+                );
                 let latency = done.saturating_sub(core.now);
                 if measuring && !is_write {
                     llc_miss_reads += 1;
@@ -441,7 +449,9 @@ pub fn run_mix_with_config(
                 core.now += queueing + (service as f64 / core.mlp) as Cycle;
             }
             MemEvent::Alloc { page } => {
-                let done = scheme.as_subsystem().page_alloc(core.now, &mut dram, page, core.domain);
+                let done = scheme
+                    .as_subsystem()
+                    .page_alloc(core.now, &mut dram, page, core.domain);
                 // Page-fault handling overhead (identical across schemes)
                 // plus the scheme's allocation work.
                 core.now = done + 200;
@@ -456,7 +466,10 @@ pub fn run_mix_with_config(
                     core.l2.invalidate(b.index());
                     llc.invalidate(b.index());
                 }
-                let done = scheme.as_subsystem().page_dealloc(core.now, &mut dram, page, core.domain);
+                let done =
+                    scheme
+                        .as_subsystem()
+                        .page_dealloc(core.now, &mut dram, page, core.domain);
                 core.now = done + 100;
                 core.instrs += 30;
             }

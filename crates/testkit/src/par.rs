@@ -1,0 +1,97 @@
+//! Scoped-thread parallel runner (in-tree `crossbeam` + `parking_lot`
+//! stand-in).
+//!
+//! [`map_parallel`] fans a job list out over a worker pool built on
+//! `std::thread::scope` and collects results through a mutex-guarded,
+//! slot-indexed collector, so the output order always matches the input
+//! order regardless of completion order. A panicking job propagates out
+//! of the scope exactly like the crossbeam version did.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use by default: one per available core.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Applies `f` to every job on up to `workers` scoped threads and returns
+/// the results **in input order**.
+///
+/// Jobs are pulled from a shared atomic cursor, so long jobs don't stall
+/// the queue behind them; each result lands in its own slot of the
+/// mutex-guarded collector.
+pub fn map_parallel<I, T, F>(jobs: &[I], workers: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs.len());
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let out = f(&jobs[i]);
+                results.lock().expect("collector poisoned")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("collector poisoned")
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let jobs: Vec<u64> = (0..257).collect();
+        let out = map_parallel(&jobs, 8, |&j| {
+            // Stagger completion so late jobs often finish before early
+            // ones; ordering must still hold.
+            std::thread::sleep(std::time::Duration::from_micros((257 - j) % 7 * 50));
+            j * 3
+        });
+        assert_eq!(out, jobs.iter().map(|j| j * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single_job_lists() {
+        let none: Vec<u32> = Vec::new();
+        assert!(map_parallel(&none, 4, |&j| j).is_empty());
+        assert_eq!(map_parallel(&[41u32], 16, |&j| j + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_count_larger_than_jobs_is_fine() {
+        let out = map_parallel(&[1u32, 2, 3], 64, |&j| j);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panicking_job_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            map_parallel(&[0u32, 1], 2, |&j| {
+                assert!(j != 1, "boom");
+                j
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

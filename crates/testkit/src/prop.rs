@@ -1,0 +1,827 @@
+//! Minimal deterministic property-testing engine.
+//!
+//! An in-tree stand-in for the subset of `proptest` the workspace uses:
+//!
+//! * **Strategies** — integer ranges (`0u64..512`), [`any`] for integers /
+//!   bools / byte arrays, [`vec`] collections, tuples of strategies,
+//!   [`Just`], [`Strategy::prop_map`], and weighted unions via
+//!   [`prop_oneof!`](crate::prop_oneof).
+//! * **Runner** — [`run_property`] draws a fixed number of cases from a
+//!   xoshiro256** stream seeded from the property name (so every run of
+//!   every test is deterministic; override with `IVL_PROP_SEED` /
+//!   `IVL_PROP_CASES`).
+//! * **Shrinking** — on failure the runner greedily walks
+//!   [`Strategy::shrink`] candidates, keeping the first candidate that
+//!   still fails, until a fixpoint or step cap, then reports the minimal
+//!   counterexample.
+//!
+//! Test files use the [`props!`](crate::props) macro, which mirrors
+//! `proptest! { #[test] fn name(arg in strategy, ..) { .. } }` closely
+//! enough that porting is a handful of local edits (`use
+//! ivl_testkit::prelude::*`, `props!`, `vec(..)` instead of
+//! `prop::collection::vec(..)`, `#![cases(N)]` instead of
+//! `#![proptest_config(..)]`).
+//!
+//! Known, accepted limitation: values produced by `prop_map` do not shrink
+//! (the combinator has no inverse to recover the pre-image), so shrinking
+//! of a mapped value stops at the enclosing combinator (e.g. a `vec` still
+//! shrinks by dropping elements).
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::rng::TestRng;
+
+/// Failure raised by the `prop_assert!` family inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Rendered assertion message.
+    pub message: String,
+    /// Source file of the failed assertion.
+    pub file: &'static str,
+    /// Source line of the failed assertion.
+    pub line: u32,
+}
+
+impl TestCaseError {
+    /// Builds an error; called by the assertion macros.
+    pub fn new(message: String, file: &'static str, line: u32) -> Self {
+        TestCaseError {
+            message,
+            file,
+            line,
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+/// Result type a property body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Cap on candidate evaluations during shrinking.
+    pub max_shrink_steps: u32,
+    /// Base seed; each property XORs in a hash of its own name.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Default configuration with an explicit case count
+    /// (`proptest`'s `ProptestConfig::with_cases` analogue).
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("IVL_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let seed = std::env::var("IVL_PROP_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x1_7EA6_0E5A_11CE);
+        Config {
+            cases,
+            max_shrink_steps: 4096,
+            seed,
+        }
+    }
+}
+
+/// A generator of test-case values with optional shrinking.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value: Clone + fmt::Debug;
+
+    /// Draws one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, most aggressive first.
+    /// An empty vector means the value is minimal (or unshrinkable).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Whether `value` lies in this strategy's domain (used to filter
+    /// cross-arm shrink candidates in unions; `true` when unknown).
+    fn contains(&self, _value: &Self::Value) -> bool {
+        true
+    }
+
+    /// Maps generated values through `f` (`proptest`'s `prop_map`).
+    /// Mapped values do not shrink — see the module docs.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies with one value
+    /// type can share a container (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Types with a canonical "whole domain" strategy, used by [`any`].
+pub trait Arbitrary: Clone + fmt::Debug + 'static {
+    /// Draws a uniformly distributed value of the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications (towards zero / all-zero / `false`).
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_uint_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+
+            fn shrink_value(&self) -> Vec<$t> {
+                shrink_towards(*self, 0)
+            }
+        }
+    )+};
+}
+
+impl_uint_arbitrary!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn shrink_value(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        if self.iter().all(|&b| b == 0) {
+            return Vec::new();
+        }
+        let mut out = vec![[0u8; N]];
+        for i in 0..N {
+            if self[i] != 0 {
+                let mut zeroed = *self;
+                zeroed[i] = 0;
+                out.push(zeroed);
+                let mut halved = *self;
+                halved[i] /= 2;
+                out.push(halved);
+            }
+        }
+        out.retain(|c| c != self);
+        out
+    }
+}
+
+/// Shrink candidates for an unsigned value towards `lo`:
+/// the floor itself, the midpoint, and the predecessor.
+fn shrink_towards<T>(value: T, lo: T) -> Vec<T>
+where
+    T: Copy
+        + PartialOrd
+        + core::ops::Add<Output = T>
+        + core::ops::Sub<Output = T>
+        + core::ops::Div<Output = T>
+        + From<u8>,
+{
+    if value <= lo {
+        return Vec::new();
+    }
+    let one = T::from(1u8);
+    let two = T::from(2u8);
+    let mut out = vec![lo, lo + (value - lo) / two, value - one];
+    out.dedup();
+    out.retain(|c| *c < value);
+    out
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (v, lo) = (*value, self.start);
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo, lo + (v - lo) / 2, v - 1];
+                out.dedup();
+                out.retain(|c| *c < v);
+                out
+            }
+
+            fn contains(&self, value: &$t) -> bool {
+                self.start <= *value && *value < self.end
+            }
+        }
+    )+};
+}
+
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy over a type's full [`Arbitrary`] domain (`proptest`'s
+/// `any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+/// Builds the canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
+}
+
+/// Strategy that always yields one value (`proptest`'s `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Vector strategy: element strategy plus a length range
+/// (`proptest`'s `prop::collection::vec`).
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Builds a vector strategy with lengths drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let n = value.len();
+        let min = self.len.start;
+        let mut out = Vec::new();
+        // Length shrinks first (most aggressive): minimal prefix, half
+        // prefix, then dropping single elements.
+        if n > min {
+            out.push(value[..min].to_vec());
+            if n / 2 > min {
+                out.push(value[..n / 2].to_vec());
+            }
+            for i in 0..n {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Element-wise shrinks keep the shape and simplify one slot.
+        for i in 0..n {
+            for cand in self.element.shrink(&value[i]) {
+                let mut simpler = value.clone();
+                simpler[i] = cand;
+                out.push(simpler);
+            }
+        }
+        out
+    }
+
+    fn contains(&self, value: &Vec<S::Value>) -> bool {
+        self.len.contains(&value.len()) && value.iter().all(|v| self.element.contains(v))
+    }
+}
+
+trait ErasedStrategy<T> {
+    fn erased_generate(&self, rng: &mut TestRng) -> T;
+    fn erased_shrink(&self, value: &T) -> Vec<T>;
+    fn erased_contains(&self, value: &T) -> bool;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn erased_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+
+    fn erased_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
+    }
+
+    fn erased_contains(&self, value: &S::Value) -> bool {
+        self.contains(value)
+    }
+}
+
+/// Type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<T>>);
+
+impl<T: Clone + fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.erased_generate(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.erased_shrink(value)
+    }
+
+    fn contains(&self, value: &T) -> bool {
+        self.0.erased_contains(value)
+    }
+}
+
+/// Weighted union of strategies over one value type
+/// (built by [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: Clone + fmt::Debug> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or any weight is zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().all(|(w, _)| *w > 0), "zero-weight arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut r = rng.below(self.total_weight);
+        for (weight, strategy) in &self.arms {
+            if r < *weight as u64 {
+                return strategy.generate(rng);
+            }
+            r -= *weight as u64;
+        }
+        unreachable!("weight selection out of bounds")
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // The producing arm is unknown, so ask every arm and keep only
+        // candidates inside that arm's own domain.
+        self.arms
+            .iter()
+            .flat_map(|(_, s)| {
+                s.shrink(value)
+                    .into_iter()
+                    .filter(|c| s.contains(c))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    fn contains(&self, value: &T) -> bool {
+        self.arms.iter().any(|(_, s)| s.contains(value))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident => $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+
+            fn contains(&self, value: &Self::Value) -> bool {
+                true $(&& self.$idx.contains(&value.$idx))+
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 => 0);
+impl_tuple_strategy!(S0 => 0, S1 => 1);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7);
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `test` against `config.cases` generated values; on failure,
+/// shrinks greedily and panics with the minimal counterexample.
+///
+/// Determinism: the RNG stream depends only on `config.seed` and the
+/// property name, so failures reproduce exactly across runs and machines.
+pub fn run_property<S, F>(name: &str, config: &Config, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> TestCaseResult,
+{
+    let seed = config.seed ^ fnv1a(name);
+    let mut rng = TestRng::seed_from(seed);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        if let Err(first_err) = test(&value) {
+            let (minimal, steps) = shrink_failure(strategy, value, &test, config.max_shrink_steps);
+            let err = test(&minimal).err().unwrap_or(first_err);
+            panic!(
+                "property `{name}` failed after {case} passing case(s) \
+                 ({steps} shrink step(s); seed {seed:#x})\n\
+                 minimal counterexample: {minimal:?}\n{err}"
+            );
+        }
+    }
+}
+
+/// Greedy shrink loop: take the first candidate that still fails, repeat
+/// until no candidate fails or the step budget is exhausted. Returns the
+/// minimal failing value and the number of candidates evaluated.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    initial: S::Value,
+    test: &F,
+    max_steps: u32,
+) -> (S::Value, u32)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> TestCaseResult,
+{
+    let mut current = initial;
+    let mut steps = 0u32;
+    'fixpoint: while steps < max_steps {
+        for candidate in strategy.shrink(&current) {
+            steps += 1;
+            if test(&candidate).is_err() {
+                current = candidate;
+                continue 'fixpoint;
+            }
+            if steps >= max_steps {
+                break 'fixpoint;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+/// Declares deterministic property tests (`proptest!` analogue).
+///
+/// ```
+/// use ivl_testkit::prelude::*;
+///
+/// props! {
+///     #![cases(32)]
+///     fn addition_commutes(a in 0u64..1000, b in any::<u64>()) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// addition_commutes();
+/// ```
+///
+/// In test files each `fn` carries its usual `#[test]` attribute, which
+/// the macro passes through.
+#[macro_export]
+macro_rules! props {
+    (#![cases($cases:expr)] $($rest:tt)*) => {
+        $crate::props!(@funcs ($crate::prop::Config::with_cases($cases)) $($rest)*);
+    };
+    (@funcs ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategy = ($($strategy,)+);
+                $crate::prop::run_property(
+                    stringify!($name),
+                    &$config,
+                    &__strategy,
+                    |__case| {
+                        #[allow(unused_mut)]
+                        let ($(mut $arg,)+) = ::core::clone::Clone::clone(__case);
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::props!(@funcs ($crate::prop::Config::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)`: fails the
+/// current case (triggering shrinking) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::prop::TestCaseError::new(
+                format!($($fmt)+),
+                file!(),
+                line!(),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Weighted (or unweighted) union of strategies
+/// (`proptest`'s `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::prop::Union::new(vec![
+            $(($weight as u32, $crate::prop::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop::Union::new(vec![
+            $((1u32, $crate::prop::Strategy::boxed($strategy)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (0u64..1000, any::<u32>(), vec(0u8..10, 1..8));
+        let mut a = TestRng::seed_from(9);
+        let mut b = TestRng::seed_from(9);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let strat = 10u64..20;
+        let mut rng = TestRng::seed_from(3);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shrinking_converges_to_minimal_counterexample() {
+        // Property "x < 10" over 0..100_000: the minimal failing input
+        // is exactly 10, and greedy shrinking must find it.
+        let strat = 0u64..100_000;
+        let test = |v: &u64| -> TestCaseResult {
+            crate::prop_assert!(*v < 10);
+            Ok(())
+        };
+        let mut rng = TestRng::seed_from(1);
+        let failing = loop {
+            let v = strat.generate(&mut rng);
+            if test(&v).is_err() {
+                break v;
+            }
+        };
+        let (minimal, steps) = shrink_failure(&strat, failing, &test, 4096);
+        assert_eq!(minimal, 10);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn vec_shrinking_drops_irrelevant_elements() {
+        // Property "no element is >= 50": minimal counterexample is a
+        // single-element vector holding exactly 50.
+        let strat = vec(0u32..1000, 1..40);
+        let test = |v: &Vec<u32>| -> TestCaseResult {
+            crate::prop_assert!(v.iter().all(|&x| x < 50));
+            Ok(())
+        };
+        let mut rng = TestRng::seed_from(7);
+        let failing = loop {
+            let v = strat.generate(&mut rng);
+            if test(&v).is_err() {
+                break v;
+            }
+        };
+        let (minimal, _) = shrink_failure(&strat, failing, &test, 8192);
+        assert_eq!(minimal, vec![50]);
+    }
+
+    #[test]
+    fn tuple_shrinking_minimizes_each_component() {
+        let strat = (0u64..1000, 0u64..1000);
+        let test = |v: &(u64, u64)| -> TestCaseResult {
+            crate::prop_assert!(v.0 + v.1 < 20);
+            Ok(())
+        };
+        let mut rng = TestRng::seed_from(11);
+        let failing = loop {
+            let v = strat.generate(&mut rng);
+            if test(&v).is_err() {
+                break v;
+            }
+        };
+        let (minimal, _) = shrink_failure(&strat, failing, &test, 8192);
+        assert_eq!(minimal.0 + minimal.1, 20);
+    }
+
+    #[test]
+    fn union_generates_all_arms() {
+        let strat = crate::prop_oneof![
+            3 => Just(1u32),
+            2 => (100u32..200).prop_map(|v| v),
+        ];
+        let mut rng = TestRng::seed_from(5);
+        let mut saw_just = false;
+        let mut saw_range = false;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                1 => saw_just = true,
+                v if (100..200).contains(&v) => saw_range = true,
+                v => panic!("value {v} outside both arms"),
+            }
+        }
+        assert!(saw_just && saw_range);
+    }
+
+    #[test]
+    fn union_shrink_stays_in_domain() {
+        let strat = crate::prop_oneof![5u32..10, 50u32..60];
+        for cand in strat.shrink(&55) {
+            assert!(strat.contains(&cand), "candidate {cand} escaped the union");
+        }
+    }
+
+    #[test]
+    fn byte_array_shrinks_towards_zero() {
+        let v = [3u8, 0, 200];
+        let cands = v.shrink_value();
+        assert!(cands.contains(&[0u8; 3]));
+        assert!(!cands.contains(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal counterexample: (10,)")]
+    fn runner_reports_minimal_counterexample() {
+        run_property(
+            "runner_reports_minimal_counterexample",
+            &Config::with_cases(200),
+            &(0u64..100_000,),
+            |(v,)| {
+                crate::prop_assert!(*v < 10);
+                Ok(())
+            },
+        );
+    }
+
+    props! {
+        #![cases(32)]
+        #[test]
+        fn props_macro_end_to_end(a in 0u64..100, b in any::<u16>(), bytes in any::<[u8; 4]>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(bytes.len(), 4);
+            prop_assert_ne!(a as u64 + 1 + b as u64, 0u64);
+        }
+    }
+}

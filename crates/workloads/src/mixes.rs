@@ -69,22 +69,86 @@ impl Mix {
 
 /// Table II, verbatim.
 pub const MIXES: [Mix; 16] = [
-    Mix { name: "S-1", class: MixClass::Small, benchmarks: ["gcc", "cactu", "perlb", "depsj"] },
-    Mix { name: "S-2", class: MixClass::Small, benchmarks: ["mcf", "omntp", "lbm", "xlnbmk"] },
-    Mix { name: "S-3", class: MixClass::Small, benchmarks: ["bwves", "lbm", "x264", "cactu"] },
-    Mix { name: "S-4", class: MixClass::Small, benchmarks: ["perlb", "xlnbmk", "gcc", "omntp"] },
-    Mix { name: "S-5", class: MixClass::Small, benchmarks: ["mcf", "bwves", "depsj", "x264"] },
-    Mix { name: "S-6", class: MixClass::Small, benchmarks: ["omntp", "gcc", "mcf", "perlb"] },
-    Mix { name: "M-1", class: MixClass::Medium, benchmarks: ["dedup", "ferret", "blksch", "bdytrk"] },
-    Mix { name: "M-2", class: MixClass::Medium, benchmarks: ["cannl", "swaptn", "vips", "ferret"] },
-    Mix { name: "M-3", class: MixClass::Medium, benchmarks: ["freqmn", "fluida", "cannl", "fcesim"] },
-    Mix { name: "M-4", class: MixClass::Medium, benchmarks: ["vips", "swaptn", "dedup", "ferret"] },
-    Mix { name: "M-5", class: MixClass::Medium, benchmarks: ["blksch", "bdytrk", "freqmn", "fluida"] },
-    Mix { name: "M-6", class: MixClass::Medium, benchmarks: ["dedup", "fcesim", "bdytrk", "swaptn"] },
-    Mix { name: "L-1", class: MixClass::Large, benchmarks: ["bfs", "pr", "bc", "sssp"] },
-    Mix { name: "L-2", class: MixClass::Large, benchmarks: ["bfs", "pr", "cc", "tc"] },
-    Mix { name: "L-3", class: MixClass::Large, benchmarks: ["bc", "sssp", "cc", "tc"] },
-    Mix { name: "L-4", class: MixClass::Large, benchmarks: ["sssp", "pr", "bc", "tc"] },
+    Mix {
+        name: "S-1",
+        class: MixClass::Small,
+        benchmarks: ["gcc", "cactu", "perlb", "depsj"],
+    },
+    Mix {
+        name: "S-2",
+        class: MixClass::Small,
+        benchmarks: ["mcf", "omntp", "lbm", "xlnbmk"],
+    },
+    Mix {
+        name: "S-3",
+        class: MixClass::Small,
+        benchmarks: ["bwves", "lbm", "x264", "cactu"],
+    },
+    Mix {
+        name: "S-4",
+        class: MixClass::Small,
+        benchmarks: ["perlb", "xlnbmk", "gcc", "omntp"],
+    },
+    Mix {
+        name: "S-5",
+        class: MixClass::Small,
+        benchmarks: ["mcf", "bwves", "depsj", "x264"],
+    },
+    Mix {
+        name: "S-6",
+        class: MixClass::Small,
+        benchmarks: ["omntp", "gcc", "mcf", "perlb"],
+    },
+    Mix {
+        name: "M-1",
+        class: MixClass::Medium,
+        benchmarks: ["dedup", "ferret", "blksch", "bdytrk"],
+    },
+    Mix {
+        name: "M-2",
+        class: MixClass::Medium,
+        benchmarks: ["cannl", "swaptn", "vips", "ferret"],
+    },
+    Mix {
+        name: "M-3",
+        class: MixClass::Medium,
+        benchmarks: ["freqmn", "fluida", "cannl", "fcesim"],
+    },
+    Mix {
+        name: "M-4",
+        class: MixClass::Medium,
+        benchmarks: ["vips", "swaptn", "dedup", "ferret"],
+    },
+    Mix {
+        name: "M-5",
+        class: MixClass::Medium,
+        benchmarks: ["blksch", "bdytrk", "freqmn", "fluida"],
+    },
+    Mix {
+        name: "M-6",
+        class: MixClass::Medium,
+        benchmarks: ["dedup", "fcesim", "bdytrk", "swaptn"],
+    },
+    Mix {
+        name: "L-1",
+        class: MixClass::Large,
+        benchmarks: ["bfs", "pr", "bc", "sssp"],
+    },
+    Mix {
+        name: "L-2",
+        class: MixClass::Large,
+        benchmarks: ["bfs", "pr", "cc", "tc"],
+    },
+    Mix {
+        name: "L-3",
+        class: MixClass::Large,
+        benchmarks: ["bc", "sssp", "cc", "tc"],
+    },
+    Mix {
+        name: "L-4",
+        class: MixClass::Large,
+        benchmarks: ["sssp", "pr", "bc", "tc"],
+    },
 ];
 
 /// Looks up a mix by name.
@@ -106,9 +170,18 @@ mod tests {
     #[test]
     fn sixteen_mixes_six_six_four() {
         assert_eq!(MIXES.len(), 16);
-        assert_eq!(MIXES.iter().filter(|m| m.class == MixClass::Small).count(), 6);
-        assert_eq!(MIXES.iter().filter(|m| m.class == MixClass::Medium).count(), 6);
-        assert_eq!(MIXES.iter().filter(|m| m.class == MixClass::Large).count(), 4);
+        assert_eq!(
+            MIXES.iter().filter(|m| m.class == MixClass::Small).count(),
+            6
+        );
+        assert_eq!(
+            MIXES.iter().filter(|m| m.class == MixClass::Medium).count(),
+            6
+        );
+        assert_eq!(
+            MIXES.iter().filter(|m| m.class == MixClass::Large).count(),
+            4
+        );
     }
 
     #[test]

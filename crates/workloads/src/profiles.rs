@@ -56,36 +56,324 @@ impl BenchmarkProfile {
 /// The full benchmark table.
 pub const BENCHMARKS: [BenchmarkProfile; 26] = [
     // --- SPEC CPU2017 (Small mixes) ---
-    bench("gcc", Suite::Spec2017, 96, 0.95, 0.55, 0.74, 0.0375, 6e-4, 1.8, 2.6),
-    bench("cactu", Suite::Spec2017, 84, 0.70, 0.80, 0.72, 0.0425, 2e-4, 1.6, 3.2),
-    bench("perlb", Suite::Spec2017, 64, 1.00, 0.60, 0.76, 0.0350, 5e-4, 2.0, 2.2),
-    bench("depsj", Suite::Spec2017, 90, 0.85, 0.50, 0.78, 0.0325, 3e-4, 2.1, 2.0),
-    bench("mcf", Suite::Spec2017, 200, 0.70, 0.35, 0.75, 0.0525, 4e-4, 1.1, 3.8),
-    bench("omntp", Suite::Spec2017, 150, 0.80, 0.45, 0.73, 0.0450, 5e-4, 1.3, 2.8),
-    bench("lbm", Suite::Spec2017, 52, 0.40, 0.92, 0.55, 0.0500, 1e-4, 1.5, 4.5),
-    bench("xlnbmk", Suite::Spec2017, 60, 0.90, 0.55, 0.77, 0.0375, 5e-4, 1.7, 2.4),
-    bench("bwves", Suite::Spec2017, 140, 0.45, 0.90, 0.68, 0.0475, 1e-4, 1.6, 4.2),
-    bench("x264", Suite::Spec2017, 40, 1.10, 0.75, 0.70, 0.0300, 2e-4, 2.2, 2.4),
+    bench(
+        "gcc",
+        Suite::Spec2017,
+        96,
+        0.95,
+        0.55,
+        0.74,
+        0.0375,
+        6e-4,
+        1.8,
+        2.6,
+    ),
+    bench(
+        "cactu",
+        Suite::Spec2017,
+        84,
+        0.70,
+        0.80,
+        0.72,
+        0.0425,
+        2e-4,
+        1.6,
+        3.2,
+    ),
+    bench(
+        "perlb",
+        Suite::Spec2017,
+        64,
+        1.00,
+        0.60,
+        0.76,
+        0.0350,
+        5e-4,
+        2.0,
+        2.2,
+    ),
+    bench(
+        "depsj",
+        Suite::Spec2017,
+        90,
+        0.85,
+        0.50,
+        0.78,
+        0.0325,
+        3e-4,
+        2.1,
+        2.0,
+    ),
+    bench(
+        "mcf",
+        Suite::Spec2017,
+        200,
+        0.70,
+        0.35,
+        0.75,
+        0.0525,
+        4e-4,
+        1.1,
+        3.8,
+    ),
+    bench(
+        "omntp",
+        Suite::Spec2017,
+        150,
+        0.80,
+        0.45,
+        0.73,
+        0.0450,
+        5e-4,
+        1.3,
+        2.8,
+    ),
+    bench(
+        "lbm",
+        Suite::Spec2017,
+        52,
+        0.40,
+        0.92,
+        0.55,
+        0.0500,
+        1e-4,
+        1.5,
+        4.5,
+    ),
+    bench(
+        "xlnbmk",
+        Suite::Spec2017,
+        60,
+        0.90,
+        0.55,
+        0.77,
+        0.0375,
+        5e-4,
+        1.7,
+        2.4,
+    ),
+    bench(
+        "bwves",
+        Suite::Spec2017,
+        140,
+        0.45,
+        0.90,
+        0.68,
+        0.0475,
+        1e-4,
+        1.6,
+        4.2,
+    ),
+    bench(
+        "x264",
+        Suite::Spec2017,
+        40,
+        1.10,
+        0.75,
+        0.70,
+        0.0300,
+        2e-4,
+        2.2,
+        2.4,
+    ),
     // --- PARSEC 3 (Medium mixes) ---
-    bench("dedup", Suite::Parsec, 250, 0.85, 0.60, 0.66, 0.0400, 3.0e-3, 1.6, 3.0),
-    bench("ferret", Suite::Parsec, 220, 0.90, 0.55, 0.74, 0.0375, 1.5e-3, 1.7, 2.8),
-    bench("blksch", Suite::Parsec, 120, 1.00, 0.80, 0.82, 0.0275, 4e-4, 2.2, 2.2),
-    bench("bdytrk", Suite::Parsec, 160, 0.95, 0.65, 0.76, 0.0350, 8e-4, 1.9, 2.6),
-    bench("cannl", Suite::Parsec, 300, 0.65, 0.30, 0.74, 0.0500, 1.0e-3, 1.1, 3.6),
-    bench("swaptn", Suite::Parsec, 110, 1.05, 0.70, 0.80, 0.0300, 5e-4, 2.2, 2.2),
-    bench("vips", Suite::Parsec, 210, 0.85, 0.70, 0.68, 0.0375, 2.0e-3, 1.8, 2.8),
-    bench("freqmn", Suite::Parsec, 260, 0.80, 0.50, 0.75, 0.0425, 1.2e-3, 1.5, 3.0),
-    bench("fluida", Suite::Parsec, 240, 0.70, 0.75, 0.62, 0.0425, 8e-4, 1.6, 3.4),
-    bench("fcesim", Suite::Parsec, 320, 0.75, 0.70, 0.70, 0.0425, 9e-4, 1.5, 3.2),
+    bench(
+        "dedup",
+        Suite::Parsec,
+        250,
+        0.85,
+        0.60,
+        0.66,
+        0.0400,
+        3.0e-3,
+        1.6,
+        3.0,
+    ),
+    bench(
+        "ferret",
+        Suite::Parsec,
+        220,
+        0.90,
+        0.55,
+        0.74,
+        0.0375,
+        1.5e-3,
+        1.7,
+        2.8,
+    ),
+    bench(
+        "blksch",
+        Suite::Parsec,
+        120,
+        1.00,
+        0.80,
+        0.82,
+        0.0275,
+        4e-4,
+        2.2,
+        2.2,
+    ),
+    bench(
+        "bdytrk",
+        Suite::Parsec,
+        160,
+        0.95,
+        0.65,
+        0.76,
+        0.0350,
+        8e-4,
+        1.9,
+        2.6,
+    ),
+    bench(
+        "cannl",
+        Suite::Parsec,
+        300,
+        0.65,
+        0.30,
+        0.74,
+        0.0500,
+        1.0e-3,
+        1.1,
+        3.6,
+    ),
+    bench(
+        "swaptn",
+        Suite::Parsec,
+        110,
+        1.05,
+        0.70,
+        0.80,
+        0.0300,
+        5e-4,
+        2.2,
+        2.2,
+    ),
+    bench(
+        "vips",
+        Suite::Parsec,
+        210,
+        0.85,
+        0.70,
+        0.68,
+        0.0375,
+        2.0e-3,
+        1.8,
+        2.8,
+    ),
+    bench(
+        "freqmn",
+        Suite::Parsec,
+        260,
+        0.80,
+        0.50,
+        0.75,
+        0.0425,
+        1.2e-3,
+        1.5,
+        3.0,
+    ),
+    bench(
+        "fluida",
+        Suite::Parsec,
+        240,
+        0.70,
+        0.75,
+        0.62,
+        0.0425,
+        8e-4,
+        1.6,
+        3.4,
+    ),
+    bench(
+        "fcesim",
+        Suite::Parsec,
+        320,
+        0.75,
+        0.70,
+        0.70,
+        0.0425,
+        9e-4,
+        1.5,
+        3.2,
+    ),
     // --- GAP graph kernels (Large mixes) ---
-    bench("bfs", Suite::Gap, 620, 0.90, 0.20, 0.80, 0.0575, 1.8e-3, 0.9, 4.5),
-    bench("pr", Suite::Gap, 680, 1.10, 0.25, 0.72, 0.0600, 1.5e-3, 0.9, 5.0),
-    bench("bc", Suite::Gap, 700, 0.95, 0.20, 0.76, 0.0600, 1.8e-3, 0.8, 4.5),
-    bench("sssp", Suite::Gap, 660, 0.90, 0.22, 0.74, 0.0575, 1.8e-3, 0.9, 4.2),
-    bench("cc", Suite::Gap, 640, 0.85, 0.25, 0.76, 0.0550, 1.5e-3, 1.0, 4.2),
-    bench("tc", Suite::Gap, 720, 1.00, 0.18, 0.84, 0.0625, 1.5e-3, 0.8, 4.8),
+    bench(
+        "bfs",
+        Suite::Gap,
+        620,
+        0.90,
+        0.20,
+        0.80,
+        0.0575,
+        1.8e-3,
+        0.9,
+        4.5,
+    ),
+    bench(
+        "pr",
+        Suite::Gap,
+        680,
+        1.10,
+        0.25,
+        0.72,
+        0.0600,
+        1.5e-3,
+        0.9,
+        5.0,
+    ),
+    bench(
+        "bc",
+        Suite::Gap,
+        700,
+        0.95,
+        0.20,
+        0.76,
+        0.0600,
+        1.8e-3,
+        0.8,
+        4.5,
+    ),
+    bench(
+        "sssp",
+        Suite::Gap,
+        660,
+        0.90,
+        0.22,
+        0.74,
+        0.0575,
+        1.8e-3,
+        0.9,
+        4.2,
+    ),
+    bench(
+        "cc",
+        Suite::Gap,
+        640,
+        0.85,
+        0.25,
+        0.76,
+        0.0550,
+        1.5e-3,
+        1.0,
+        4.2,
+    ),
+    bench(
+        "tc",
+        Suite::Gap,
+        720,
+        1.00,
+        0.18,
+        0.84,
+        0.0625,
+        1.5e-3,
+        0.8,
+        4.8,
+    ),
 ];
 
+// One positional argument per profile column keeps the table above compact.
+#[allow(clippy::too_many_arguments)]
 const fn bench(
     name: &'static str,
     suite: Suite,
@@ -140,14 +428,23 @@ mod tests {
     #[test]
     fn table_has_all_suites() {
         assert_eq!(
-            BENCHMARKS.iter().filter(|b| b.suite == Suite::Spec2017).count(),
+            BENCHMARKS
+                .iter()
+                .filter(|b| b.suite == Suite::Spec2017)
+                .count(),
             10
         );
         assert_eq!(
-            BENCHMARKS.iter().filter(|b| b.suite == Suite::Parsec).count(),
+            BENCHMARKS
+                .iter()
+                .filter(|b| b.suite == Suite::Parsec)
+                .count(),
             10
         );
-        assert_eq!(BENCHMARKS.iter().filter(|b| b.suite == Suite::Gap).count(), 6);
+        assert_eq!(
+            BENCHMARKS.iter().filter(|b| b.suite == Suite::Gap).count(),
+            6
+        );
     }
 
     #[test]
@@ -165,7 +462,11 @@ mod tests {
             assert!((0.0..=1.5).contains(&b.zipf_s), "{}", b.name);
             assert!((0.0..1.0).contains(&b.locality), "{}", b.name);
             assert!((0.3..1.0).contains(&b.read_ratio), "{}", b.name);
-            assert!(b.mem_ops_per_instr > 0.0 && b.mem_ops_per_instr < 0.2, "{}", b.name);
+            assert!(
+                b.mem_ops_per_instr > 0.0 && b.mem_ops_per_instr < 0.2,
+                "{}",
+                b.name
+            );
             assert!(b.churn < 0.01, "{}", b.name);
             assert!((1.0..2.0).contains(&b.init_spike), "{}", b.name);
             assert!(b.base_ipc > 0.5 && b.mlp >= 1.0, "{}", b.name);

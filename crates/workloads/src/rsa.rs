@@ -40,7 +40,10 @@ impl SquareMultiplyVictim {
     /// Panics if `exponent` is empty or the two code pages coincide.
     pub fn new(exponent: Vec<bool>, sqr_page: PageNum, mul_page: PageNum) -> Self {
         assert!(!exponent.is_empty(), "need at least one exponent bit");
-        assert_ne!(sqr_page, mul_page, "sqr and mul must live on distinct pages");
+        assert_ne!(
+            sqr_page, mul_page,
+            "sqr and mul must live on distinct pages"
+        );
         SquareMultiplyVictim {
             exponent,
             sqr_page,

@@ -125,7 +125,10 @@ impl TraceGenerator {
         // range — real OS allocations are neither fully contiguous nor
         // fully random, and the scatter spreads metadata blocks across the
         // metadata caches' sets the way a fragmented physical memory does.
-        assert!(range_pages.is_power_of_two(), "range must be a power of two");
+        assert!(
+            range_pages.is_power_of_two(),
+            "range must be a power of two"
+        );
         assert!(
             range_pages >= peak_pages.next_power_of_two(),
             "range must cover the spiked footprint"
@@ -197,7 +200,10 @@ impl TraceGenerator {
     }
 
     fn pick_page(&mut self) -> PageNum {
-        let rank = self.zipf.sample(&mut self.rng).min(self.allocated.len() - 1);
+        let rank = self
+            .zipf
+            .sample(&mut self.rng)
+            .min(self.allocated.len() - 1);
         self.allocated[rank]
     }
 
@@ -376,7 +382,7 @@ mod tests {
     #[test]
     fn hot_pages_dominate_for_skewed_profiles() {
         let mut g = generator("x264", 5); // zipf 1.1
-        // Warm up fully.
+                                          // Warm up fully.
         while !g.warmed_up() {
             g.next_event();
         }

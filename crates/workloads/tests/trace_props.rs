@@ -1,13 +1,13 @@
 //! Property tests on the workload generators.
 
 use ivl_sim_core::domain::DomainId;
+use ivl_testkit::prelude::*;
 use ivl_workloads::profiles::BENCHMARKS;
 use ivl_workloads::trace::{MemEvent, TraceGenerator};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    #![cases(24)]
 
     #[test]
     fn alloc_dealloc_access_discipline(bench_idx in 0usize..26, seed in any::<u64>()) {

@@ -9,9 +9,9 @@ use ivleague_repro::ivl_sim_core::addr::PageNum;
 use ivleague_repro::ivl_sim_core::config::IvVariant;
 use ivleague_repro::ivl_sim_core::domain::DomainId;
 use ivleague_repro::ivl_sim_core::rng::Xoshiro256;
+use ivleague_repro::ivl_workloads::zipf::Zipf;
 use ivleague_repro::ivleague::forest::{Forest, ForestConfig};
 use ivleague_repro::ivleague::tracker::{HotEvent, HotpageTracker};
-use ivleague_repro::ivl_workloads::zipf::Zipf;
 
 fn main() {
     let d = DomainId::new_unchecked(1);
@@ -55,7 +55,11 @@ fn main() {
         let p = pages[rank];
         println!(
             "{rank:>4}  {}  {}",
-            if forest.is_hot_mapped(p) { "yes " } else { " no " },
+            if forest.is_hot_mapped(p) {
+                "yes "
+            } else {
+                " no "
+            },
             forest.verification_path(p).map(|v| v.len()).unwrap_or(0)
         );
     }

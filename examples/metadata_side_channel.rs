@@ -13,7 +13,10 @@ fn main() {
         seed: 42,
     };
 
-    println!("Victim: square-and-multiply RSA, {}-bit secret exponent", cfg.bits);
+    println!(
+        "Victim: square-and-multiply RSA, {}-bit secret exponent",
+        cfg.bits
+    );
     println!("Attacker: evicts the shared level-2 tree node, times its own reload\n");
 
     let leak = run_attack(TargetScheme::GlobalTree, &cfg);
@@ -27,7 +30,10 @@ fn main() {
             s.bit, s.truth as u8, s.p2_latency, s.guess as u8
         );
     }
-    println!("   recovery accuracy: {:.1}%  (paper reports 91.6%)\n", leak.accuracy * 100.0);
+    println!(
+        "   recovery accuracy: {:.1}%  (paper reports 91.6%)\n",
+        leak.accuracy * 100.0
+    );
 
     let safe = run_attack(TargetScheme::IvLeague, &cfg);
     println!("-- IvLeague (isolated TreeLings, roots pinned on-chip) --");

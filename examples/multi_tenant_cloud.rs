@@ -30,7 +30,11 @@ fn main() {
         for t in 0..4u16 {
             let d = DomainId::new_unchecked(wave * 4 + t + 1);
             // Skewed footprints: one elephant, three mice per wave.
-            let pages = if t == 0 { 2000 } else { 40 + rng.index(80) as u64 };
+            let pages = if t == 0 {
+                2000
+            } else {
+                40 + rng.index(80) as u64
+            };
             let mut owned = Vec::new();
             for _ in 0..pages {
                 let p = PageNum::new(next_page);

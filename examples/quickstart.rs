@@ -14,10 +14,16 @@ fn main() {
     // Three processor keys: encryption, MAC, integrity tree.
     let mut mem = SecureMemory::new(1024, [1u8; 16], [2u8; 16], [3u8; 16]);
     let secret = BlockAddr::new(100);
-    mem.write_block(secret, b"attack at dawn!.attack at dawn!.attack at dawn!.attack at dawn!.")
-        .expect("in range");
+    mem.write_block(
+        secret,
+        b"attack at dawn!.attack at dawn!.attack at dawn!.attack at dawn!.",
+    )
+    .expect("in range");
     let read = mem.read_block(secret).expect("verified read");
-    println!("  verified read-back : {:?}...", std::str::from_utf8(&read[..14]).unwrap());
+    println!(
+        "  verified read-back : {:?}...",
+        std::str::from_utf8(&read[..14]).unwrap()
+    );
 
     // Physical attacks against off-chip memory are detected:
     mem.corrupt_data(secret, 3, 0xFF);
@@ -35,8 +41,12 @@ fn main() {
     let tenant_a = DomainId::new_unchecked(1);
     let tenant_b = DomainId::new_unchecked(2);
     for i in 0..24 {
-        forest.map_page(tenant_a, PageNum::new(i)).expect("capacity");
-        forest.map_page(tenant_b, PageNum::new(1000 + i)).expect("capacity");
+        forest
+            .map_page(tenant_a, PageNum::new(i))
+            .expect("capacity");
+        forest
+            .map_page(tenant_b, PageNum::new(1000 + i))
+            .expect("capacity");
     }
     println!(
         "  tenant A holds {} TreeLings, tenant B holds {}",

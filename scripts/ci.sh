@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# CI entry point. Everything here must pass offline: the workspace has a
+# zero-third-party-dependency policy (DESIGN.md §5), so no step may touch
+# the network or a registry cache.
+#
+# Usage:
+#   scripts/ci.sh            # run every check in both profiles
+#   scripts/ci.sh debug      # build/test the debug profile only
+#   scripts/ci.sh release    # build/test the release profile only
+#
+# Steps:
+#   1. dependency purity    - Cargo.lock and `cargo tree` contain only
+#                             workspace members (no `source =` lines, no
+#                             paths outside the repo)
+#   2. formatting           - cargo fmt --check
+#   3. lints                - cargo clippy --all-targets -D warnings
+#   4. build + test         - --locked --offline, per profile
+#   5. bench smoke          - one quick ivl-bench micro run
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PROFILE_FILTER="${1:-all}"
+case "$PROFILE_FILTER" in
+all | debug | release) ;;
+*)
+    echo "unknown profile '$PROFILE_FILTER' (expected all|debug|release)" >&2
+    exit 2
+    ;;
+esac
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "dependency purity"
+if grep -q '^source = ' Cargo.lock; then
+    echo "FAIL: Cargo.lock references a registry source:" >&2
+    grep -n '^source = ' Cargo.lock >&2
+    exit 1
+fi
+# Every node in the full dependency graph (normal, build, and dev edges)
+# must live inside this repository.
+BAD_DEPS=$(cargo tree --workspace --locked --offline \
+    --edges normal,build,dev --prefix none --format '{p}' \
+    | sort -u | grep -v "($(pwd)" || true)
+if [ -n "$BAD_DEPS" ]; then
+    echo "FAIL: dependency graph reaches outside the workspace:" >&2
+    echo "$BAD_DEPS" >&2
+    exit 1
+fi
+echo "OK: dependency graph is workspace-only"
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --locked --offline -- -D warnings
+
+run_profile() {
+    local name="$1"
+    shift
+    step "build ($name)"
+    cargo build --workspace --all-targets --locked --offline "$@"
+    step "test ($name)"
+    cargo test -q --workspace --locked --offline "$@"
+}
+
+case "$PROFILE_FILTER" in
+all)
+    run_profile debug
+    run_profile release --release
+    ;;
+debug)
+    run_profile debug
+    ;;
+release)
+    run_profile release --release
+    ;;
+esac
+
+step "bench smoke (IVL_BENCH_QUICK=1)"
+IVL_BENCH_QUICK=1 cargo bench -p ivl-bench --locked --offline
+
+step "done"
+echo "OK: all CI checks passed ($PROFILE_FILTER)"

@@ -2,9 +2,7 @@
 //! 21/22 and Table III must have the paper's qualitative shapes.
 
 use ivleague_repro::ivl_analysis::hardware::hardware_cost;
-use ivleague_repro::ivl_analysis::scalability::{
-    paper_ivleague, success_rate, PartitionScheme,
-};
+use ivleague_repro::ivl_analysis::scalability::{paper_ivleague, success_rate, PartitionScheme};
 use ivleague_repro::ivl_analysis::starvation::{fig21_sweep, treelings_required};
 use ivleague_repro::ivl_sim_core::config::SystemConfig;
 
@@ -55,11 +53,19 @@ fn fig22_static_collapses_ivleague_holds() {
 #[test]
 fn table3_cost_is_modest() {
     let cost = hardware_cost(&SystemConfig::default());
-    assert!(cost.total_area_mm2() < 1.0, "area {}", cost.total_area_mm2());
+    assert!(
+        cost.total_area_mm2() < 1.0,
+        "area {}",
+        cost.total_area_mm2()
+    );
     assert!(cost.offchip_nfl_fraction < 0.01);
     assert!(cost.tree_metadata_fraction < 0.05);
     // The LMM cache dominates on-chip storage, as in the paper.
-    let lmm = cost.rows.iter().find(|r| r.component.contains("LMM")).unwrap();
+    let lmm = cost
+        .rows
+        .iter()
+        .find(|r| r.component.contains("LMM"))
+        .unwrap();
     for r in &cost.rows {
         assert!(lmm.storage_bytes >= r.storage_bytes);
     }

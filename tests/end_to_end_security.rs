@@ -66,7 +66,11 @@ fn metadata_side_channel_leaks_globally_but_not_under_ivleague() {
         seed: 1234,
     };
     let leak = run_attack(TargetScheme::GlobalTree, &cfg);
-    assert!(leak.accuracy > 0.95, "global tree accuracy {}", leak.accuracy);
+    assert!(
+        leak.accuracy > 0.95,
+        "global tree accuracy {}",
+        leak.accuracy
+    );
 
     let safe = run_attack(TargetScheme::IvLeague, &cfg);
     assert!(
@@ -97,7 +101,10 @@ fn isolation_survives_multi_domain_churn_in_every_variant() {
                 forest.unmap_page(owner, page).unwrap();
             }
             if step % 1000 == 999 {
-                assert!(forest.verify_isolation(), "{variant:?} leaked at step {step}");
+                assert!(
+                    forest.verify_isolation(),
+                    "{variant:?} leaked at step {step}"
+                );
             }
         }
         // Domain teardown recycles TreeLings without breaking isolation.
@@ -106,9 +113,7 @@ fn isolation_survives_multi_domain_churn_in_every_variant() {
         assert!(forest.verify_isolation());
         for (d, p) in &live {
             assert_eq!(
-                forest
-                    .verification_path(*p)
-                    .map(|path| path.is_empty()),
+                forest.verification_path(*p).map(|path| path.is_empty()),
                 Some(false),
                 "{variant:?}: page of {d} lost its path"
             );
@@ -125,7 +130,8 @@ fn overflow_reencryption_preserves_verifiability() {
     }
     // Hammer one block through several minor-counter overflows.
     for i in 0..300u32 {
-        m.write_block(page.block(0), &[(i % 251) as u8; 64]).unwrap();
+        m.write_block(page.block(0), &[(i % 251) as u8; 64])
+            .unwrap();
     }
     assert!(m.page_reencryptions() >= 2);
     for off in 1..4 {

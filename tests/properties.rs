@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Property-based tests (ivl-testkit) on the core invariants:
 //!
 //! * the NFL never double-allocates a slot and keeps its head invariant;
 //! * the forest keeps page→slot mapping a bijection under arbitrary
@@ -7,7 +7,7 @@
 //!   arbitrary operation sequences, and detects arbitrary single-bit
 //!   ciphertext corruption.
 
-use proptest::prelude::*;
+use ivl_testkit::prelude::*;
 
 use ivleague_repro::ivl_secure_mem::functional::{IntegrityError, SecureMemory};
 use ivleague_repro::ivl_sim_core::addr::{BlockAddr, PageNum};
@@ -23,7 +23,7 @@ enum NflOp {
 }
 
 fn nfl_ops() -> impl Strategy<Value = Vec<NflOp>> {
-    prop::collection::vec(
+    vec(
         prop_oneof![
             3 => Just(NflOp::Alloc),
             2 => any::<usize>().prop_map(NflOp::FreeIdx),
@@ -32,8 +32,8 @@ fn nfl_ops() -> impl Strategy<Value = Vec<NflOp>> {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![cases(64)]
 
     #[test]
     fn nfl_never_double_allocates(ops in nfl_ops()) {
@@ -117,7 +117,7 @@ proptest! {
 
     #[test]
     fn secure_memory_round_trips_random_writes(
-        writes in prop::collection::vec((0u64..512, any::<u8>()), 1..60)
+        writes in vec((0u64..512, any::<u8>()), 1..60)
     ) {
         let mut mem = SecureMemory::new(8, [1u8; 16], [2u8; 16], [3u8; 16]);
         let mut shadow = std::collections::HashMap::new();

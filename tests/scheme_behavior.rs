@@ -16,7 +16,11 @@ fn every_mix_runs_under_every_main_scheme() {
             let r = run_mix(mix, scheme, &run);
             assert!(r.weighted_ipc() > 0.0, "{}/{scheme:?}", mix.name);
             assert!(r.stats.data_reads > 0, "{}/{scheme:?}", mix.name);
-            assert!(!r.failed, "{}/{scheme:?} reported allocation failures", mix.name);
+            assert!(
+                !r.failed,
+                "{}/{scheme:?} reported allocation failures",
+                mix.name
+            );
         }
     }
 }
