@@ -5,7 +5,7 @@
 //! (Section II-B). Binding the address defeats splicing; binding the counter
 //! makes a verified counter prove data freshness under a Bonsai Merkle Tree.
 
-use crate::siphash::{siphash24, SipKey};
+use crate::siphash::{SipHasher24, SipKey};
 
 /// MAC engine keyed with the processor's authentication key.
 ///
@@ -32,13 +32,15 @@ impl MacEngine {
         }
     }
 
-    /// Computes the 64-bit MAC of a data block.
+    /// Computes the 64-bit MAC of a data block. The message is
+    /// `addr ‖ counter ‖ data` streamed straight into the hasher state —
+    /// no intermediate message buffer.
     pub fn data_mac(&self, block_addr: u64, counter: u64, data: &[u8; 64]) -> u64 {
-        let mut msg = [0u8; 80];
-        msg[0..8].copy_from_slice(&block_addr.to_le_bytes());
-        msg[8..16].copy_from_slice(&counter.to_le_bytes());
-        msg[16..80].copy_from_slice(data);
-        siphash24(self.key, &msg)
+        let mut h = SipHasher24::new(self.key);
+        h.write_u64(block_addr);
+        h.write_u64(counter);
+        h.write_bytes(data);
+        h.finish()
     }
 
     /// Verifies a data block against its stored MAC.

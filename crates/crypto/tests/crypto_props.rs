@@ -1,11 +1,71 @@
 //! Property tests on the cryptographic primitives.
 
-use ivl_crypto::ctr::CtrEngine;
+use ivl_crypto::aes::{self, Aes128};
+use ivl_crypto::ctr::{CtrEngine, CHUNKS_PER_BLOCK};
 use ivl_crypto::mac::MacEngine;
-use ivl_crypto::siphash::{siphash24, SipKey};
+use ivl_crypto::siphash::{siphash24, SipHasher24, SipKey};
 use ivl_testkit::prelude::*;
 
 props! {
+    #[test]
+    fn table_aes_equals_scalar_aes(
+        key in any::<[u8; 16]>(),
+        block in any::<[u8; 16]>(),
+    ) {
+        let fast = Aes128::new(key);
+        let slow = aes::scalar::Aes128::new(key);
+        let expected = slow.encrypt_block(block);
+        prop_assert_eq!(fast.encrypt_block_tables(block), expected);
+        // The dispatching entry point agrees too; on AES-NI hosts this
+        // pins the hardware tier to the scalar reference.
+        prop_assert_eq!(fast.encrypt_block(block), expected);
+    }
+
+    #[test]
+    fn batched_aes_equals_four_single_blocks(
+        key in any::<[u8; 16]>(),
+        bytes in any::<[u8; 64]>(),
+    ) {
+        let aes = Aes128::new(key);
+        let mut blocks = [[0u8; 16]; 4];
+        for (lane, block) in blocks.iter_mut().enumerate() {
+            block.copy_from_slice(&bytes[lane * 16..(lane + 1) * 16]);
+        }
+        let batched = aes.encrypt_blocks4(blocks);
+        for lane in 0..4 {
+            prop_assert_eq!(batched[lane], aes.encrypt_block(blocks[lane]));
+        }
+    }
+
+    #[test]
+    fn batched_ctr_pad_equals_four_pad_calls(
+        key in any::<[u8; 16]>(),
+        addr in any::<u64>(),
+        counter in any::<u64>(),
+    ) {
+        let e = CtrEngine::new(key);
+        let pad = e.pad_block(addr, counter);
+        for chunk in 0..CHUNKS_PER_BLOCK {
+            prop_assert_eq!(
+                &pad[chunk * 16..(chunk + 1) * 16],
+                &e.pad(addr, counter, chunk)[..]
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_hasher_equals_one_shot(
+        data in vec(any::<u8>(), 0..96),
+        split in any::<usize>(),
+    ) {
+        let key = SipKey::from_bytes([9u8; 16]);
+        let cut = split % (data.len() + 1);
+        let mut h = SipHasher24::new(key);
+        h.write_bytes(&data[..cut]);
+        h.write_bytes(&data[cut..]);
+        prop_assert_eq!(h.finish(), siphash24(key, &data));
+    }
+
     #[test]
     fn ctr_round_trips_any_block(
         key in any::<[u8; 16]>(),

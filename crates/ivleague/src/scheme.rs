@@ -543,8 +543,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         match &mut self.mapper {
             Mapper::Nfl(f) => match f.map_page(domain, page) {
                 Ok(out) => {
-                    let ops = out.nfl_ops.clone();
-                    let mut t = self.charge_nfl_ops(now, dram, domain, &ops);
+                    let mut t = self.charge_nfl_ops(now, dram, domain, &out.nfl_ops);
                     // PTE/LMM write for the new mapping.
                     dram.access(t, pte_block(self.pt_base, page), true);
                     self.stats.meta_writes += 1;
@@ -602,10 +601,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
     ) -> Cycle {
         let t = match &mut self.mapper {
             Mapper::Nfl(f) => match f.unmap_page(domain, page) {
-                Ok(out) => {
-                    let ops = out.nfl_ops.clone();
-                    self.charge_nfl_ops(now, dram, domain, &ops)
-                }
+                Ok(out) => self.charge_nfl_ops(now, dram, domain, &out.nfl_ops),
                 Err(_) => now,
             },
             Mapper::Bv(b) => match b.unmap_page(domain, page) {

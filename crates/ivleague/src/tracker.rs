@@ -21,6 +21,54 @@ pub enum HotEvent {
     Demote(PageNum),
 }
 
+/// Events from one recorded access, stored inline. A single access produces
+/// at most a promotion (of the accessed page) plus a demotion (of an evicted
+/// entry), so the per-access hot path never allocates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotEvents {
+    buf: [Option<HotEvent>; 2],
+}
+
+impl HotEvents {
+    fn push(&mut self, e: HotEvent) {
+        if self.buf[0].is_none() {
+            self.buf[0] = Some(e);
+        } else {
+            debug_assert!(self.buf[1].is_none(), "at most two events per access");
+            self.buf[1] = Some(e);
+        }
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.buf.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether the access produced no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf[0].is_none()
+    }
+
+    /// Whether `event` is among the recorded events.
+    pub fn contains(&self, event: &HotEvent) -> bool {
+        self.buf.iter().flatten().any(|e| e == event)
+    }
+
+    /// Iterates over the recorded events.
+    pub fn iter(&self) -> impl Iterator<Item = &HotEvent> {
+        self.buf.iter().flatten()
+    }
+}
+
+impl IntoIterator for HotEvents {
+    type Item = HotEvent;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<HotEvent>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.into_iter().flatten()
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     page: PageNum,
@@ -43,7 +91,7 @@ struct Entry {
 /// let p = PageNum::new(42);
 /// assert!(t.record(p).is_empty());
 /// assert!(t.record(p).is_empty());
-/// assert_eq!(t.record(p), vec![HotEvent::Promote(p)]); // third access
+/// assert!(t.record(p).contains(&HotEvent::Promote(p))); // third access
 /// ```
 #[derive(Debug, Clone)]
 pub struct HotpageTracker {
@@ -81,8 +129,8 @@ impl HotpageTracker {
     }
 
     /// Records an access to `page`, returning any promotion/demotion events.
-    pub fn record(&mut self, page: PageNum) -> Vec<HotEvent> {
-        let mut events = Vec::new();
+    pub fn record(&mut self, page: PageNum) -> HotEvents {
+        let mut events = HotEvents::default();
         self.accesses_since_clear += 1;
         if self.accesses_since_clear >= self.clear_interval {
             self.accesses_since_clear = 0;
@@ -159,7 +207,9 @@ mod tests {
     fn promotion_fires_once() {
         let mut t = HotpageTracker::new(4, 8, 2, 1000);
         assert!(t.record(p(1)).is_empty());
-        assert_eq!(t.record(p(1)), vec![HotEvent::Promote(p(1))]);
+        let ev = t.record(p(1));
+        assert_eq!(ev.len(), 1);
+        assert!(ev.contains(&HotEvent::Promote(p(1))));
         assert!(t.record(p(1)).is_empty(), "no duplicate promotions");
         assert!(t.is_hot(p(1)));
     }
@@ -180,7 +230,8 @@ mod tests {
     fn demotion_on_eviction_of_promoted_page() {
         let mut t = HotpageTracker::new(1, 8, 1, 1000);
         let ev = t.record(p(1));
-        assert_eq!(ev, vec![HotEvent::Promote(p(1))]);
+        assert_eq!(ev.len(), 1);
+        assert!(ev.contains(&HotEvent::Promote(p(1))));
         let ev = t.record(p(2));
         assert!(ev.contains(&HotEvent::Demote(p(1))));
     }

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use ivl_crypto::ctr::CtrEngine;
 use ivl_crypto::mac::MacEngine;
-use ivl_crypto::siphash::{siphash24, SipKey};
+use ivl_crypto::siphash::{SipHasher24, SipKey};
 use ivl_secure_mem::counters::CounterStore;
 use ivl_sim_core::addr::{BlockAddr, PageNum};
 use ivl_sim_core::config::IvVariant;
@@ -104,7 +104,10 @@ pub struct IvMemory {
     data: HashMap<BlockAddr, [u8; 64]>,
     macs: HashMap<BlockAddr, u64>,
     /// Off-chip TreeLing node contents (hash slots), sparse.
-    nodes: HashMap<(TreeLingId, TlNode), Vec<u64>>,
+    nodes: HashMap<(TreeLingId, TlNode), Box<[u64]>>,
+    /// Shared all-zero slot array absent nodes borrow from, so verification
+    /// of untouched nodes allocates nothing.
+    zero_node: Box<[u64]>,
     /// On-chip root hash per active TreeLing (the locked upper structure).
     roots: HashMap<TreeLingId, u64>,
     arity: usize,
@@ -146,6 +149,7 @@ impl IvMemory {
             data: HashMap::new(),
             macs: HashMap::new(),
             nodes: HashMap::new(),
+            zero_node: vec![0u64; arity].into_boxed_slice(),
             roots: HashMap::new(),
             arity,
             root_level,
@@ -157,36 +161,39 @@ impl IvMemory {
         &self.forest
     }
 
-    fn slots(&self, key: (TreeLingId, TlNode)) -> Vec<u64> {
-        self.nodes
-            .get(&key)
-            .cloned()
-            .unwrap_or_else(|| vec![0; self.arity])
+    fn slots(&self, key: (TreeLingId, TlNode)) -> &[u64] {
+        match self.nodes.get(&key) {
+            Some(slots) => slots,
+            None => &self.zero_node,
+        }
     }
 
     fn set_slot(&mut self, key: (TreeLingId, TlNode), slot: usize, value: u64) {
         let arity = self.arity;
-        self.nodes.entry(key).or_insert_with(|| vec![0; arity])[slot] = value;
+        self.nodes
+            .entry(key)
+            .or_insert_with(|| vec![0; arity].into_boxed_slice())[slot] = value;
     }
 
     fn counter_hash(&self, page: PageNum) -> u64 {
         let cb = self.counters.block_of(page);
-        let mut msg = Vec::with_capacity(80);
-        msg.extend_from_slice(&page.index().to_le_bytes());
-        msg.extend_from_slice(&cb.to_bytes());
-        siphash24(self.tree_key, &msg)
+        let mut h = SipHasher24::new(self.tree_key);
+        h.write_u64(page.index());
+        h.write_bytes(&cb.to_bytes());
+        h.finish()
     }
 
     fn node_hash(&self, key: (TreeLingId, TlNode)) -> u64 {
-        let slots = self.slots(key);
-        let mut msg = Vec::with_capacity(24 + slots.len() * 8);
-        msg.extend_from_slice(&key.0 .0.to_le_bytes());
-        msg.extend_from_slice(&(key.1.level as u64).to_le_bytes());
-        msg.extend_from_slice(&(key.1.index as u64).to_le_bytes());
-        for s in &slots {
-            msg.extend_from_slice(&s.to_le_bytes());
+        let mut h = SipHasher24::new(self.tree_key);
+        // The TreeLing id (u32) streams as its four little-endian bytes to
+        // keep the position encoding compact, exactly as before.
+        h.write_bytes(&key.0 .0.to_le_bytes());
+        h.write_u64(key.1.level as u64);
+        h.write_u64(key.1.index as u64);
+        for &s in self.slots(key) {
+            h.write_u64(s);
         }
-        siphash24(self.tree_key, &msg)
+        h.finish()
     }
 
     /// Refreshes the hash chain from `slot` to the on-chip TreeLing root.
@@ -254,7 +261,7 @@ impl IvMemory {
             return Ok(());
         }
         let outcome = self.forest.map_page(domain, page)?;
-        for moved in outcome.remapped.clone() {
+        for moved in outcome.remapped {
             self.reanchor(moved);
         }
         self.reanchor(page);
@@ -365,7 +372,7 @@ impl IvMemory {
         let arity = self.arity;
         self.nodes
             .entry((treeling, node))
-            .or_insert_with(|| vec![0; arity])[slot % arity] ^= xor;
+            .or_insert_with(|| vec![0; arity].into_boxed_slice())[slot % arity] ^= xor;
     }
 
     /// Restores a stale counter block (replay): counters live off-chip.

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use ivl_crypto::siphash::{siphash24, SipKey};
+use ivl_crypto::siphash::{SipHasher24, SipKey};
 
 /// Arity of the counter tree (eight 56-bit counters per 64 B node).
 pub const CT_ARITY: usize = 8;
@@ -132,14 +132,14 @@ impl CounterTree {
     /// Embedded MAC of a node's counters, keyed by its position and the
     /// parent counter that versions it.
     fn node_mac(&self, node: CtNode, counters: &[u64; CT_ARITY], parent_counter: u64) -> u64 {
-        let mut msg = Vec::with_capacity(16 + 8 * (CT_ARITY + 1));
-        msg.extend_from_slice(&(node.level as u64).to_le_bytes());
-        msg.extend_from_slice(&node.index.to_le_bytes());
-        msg.extend_from_slice(&parent_counter.to_le_bytes());
-        for c in counters {
-            msg.extend_from_slice(&c.to_le_bytes());
+        let mut h = SipHasher24::new(self.key);
+        h.write_u64(node.level as u64);
+        h.write_u64(node.index);
+        h.write_u64(parent_counter);
+        for &c in counters {
+            h.write_u64(c);
         }
-        siphash24(self.key, &msg)
+        h.finish()
     }
 
     fn parent_counter(&self, node: CtNode) -> u64 {

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use ivl_crypto::siphash::{siphash24, SipKey};
+use ivl_crypto::siphash::{SipHasher24, SipKey};
 use ivl_sim_core::addr::PageNum;
 
 use crate::counters::CounterBlock;
@@ -69,7 +69,10 @@ pub struct MerkleTree {
     layout: MetadataLayout,
     key: SipKey,
     /// Sparse node contents; absent nodes read as all-zero slot arrays.
-    nodes: HashMap<NodeId, Vec<u64>>,
+    nodes: HashMap<NodeId, Box<[u64]>>,
+    /// Shared all-zero slot array absent nodes borrow from, so reading a
+    /// never-written node allocates nothing.
+    zero_node: Box<[u64]>,
     /// On-chip copy of the root node's hash.
     root_hash: u64,
 }
@@ -78,10 +81,12 @@ impl MerkleTree {
     /// Creates an empty tree for `layout` keyed with `key`.
     pub fn new(layout: MetadataLayout, key: [u8; 16]) -> Self {
         let key = SipKey::from_bytes(key);
+        let zero_node = vec![0u64; layout.arity() as usize].into_boxed_slice();
         let mut tree = MerkleTree {
             layout,
             key,
             nodes: HashMap::new(),
+            zero_node,
             root_hash: 0,
         };
         tree.root_hash = tree.node_hash(tree.layout.root());
@@ -93,36 +98,38 @@ impl MerkleTree {
         &self.layout
     }
 
-    fn slots(&self, node: NodeId) -> Vec<u64> {
-        self.nodes
-            .get(&node)
-            .cloned()
-            .unwrap_or_else(|| vec![0; self.layout.arity() as usize])
+    fn slots(&self, node: NodeId) -> &[u64] {
+        match self.nodes.get(&node) {
+            Some(slots) => slots,
+            None => &self.zero_node,
+        }
     }
 
     /// Keyed hash of a counter block, bound to its page.
     pub fn counter_hash(&self, page: PageNum, cb: &CounterBlock) -> u64 {
-        let mut msg = Vec::with_capacity(80);
-        msg.extend_from_slice(&page.index().to_le_bytes());
-        msg.extend_from_slice(&cb.to_bytes());
-        siphash24(self.key, &msg)
+        let mut h = SipHasher24::new(self.key);
+        h.write_u64(page.index());
+        h.write_bytes(&cb.to_bytes());
+        h.finish()
     }
 
     /// Keyed hash of a node's current content, bound to its position.
     pub fn node_hash(&self, node: NodeId) -> u64 {
-        let slots = self.slots(node);
-        let mut msg = Vec::with_capacity(16 + slots.len() * 8);
-        msg.extend_from_slice(&(node.level as u64).to_le_bytes());
-        msg.extend_from_slice(&node.index.to_le_bytes());
-        for s in &slots {
-            msg.extend_from_slice(&s.to_le_bytes());
+        let mut h = SipHasher24::new(self.key);
+        h.write_u64(node.level as u64);
+        h.write_u64(node.index);
+        for &s in self.slots(node) {
+            h.write_u64(s);
         }
-        siphash24(self.key, &msg)
+        h.finish()
     }
 
     fn set_slot(&mut self, node: NodeId, slot: usize, value: u64) {
         let arity = self.layout.arity() as usize;
-        let slots = self.nodes.entry(node).or_insert_with(|| vec![0; arity]);
+        let slots = self
+            .nodes
+            .entry(node)
+            .or_insert_with(|| vec![0; arity].into_boxed_slice());
         slots[slot] = value;
     }
 
@@ -173,12 +180,16 @@ impl MerkleTree {
     /// Tampers with an in-memory node slot (attack modeling / tests).
     pub fn tamper_slot(&mut self, node: NodeId, slot: usize, xor: u64) {
         let arity = self.layout.arity() as usize;
-        let slots = self.nodes.entry(node).or_insert_with(|| vec![0; arity]);
+        let slots = self
+            .nodes
+            .entry(node)
+            .or_insert_with(|| vec![0; arity].into_boxed_slice());
         slots[slot] ^= xor;
     }
 
-    /// Raw slot values of a node (inspection in tests).
-    pub fn node_slots(&self, node: NodeId) -> Vec<u64> {
+    /// Raw slot values of a node (borrowing view; absent nodes read as the
+    /// shared all-zero array).
+    pub fn node_slots(&self, node: NodeId) -> &[u64] {
         self.slots(node)
     }
 

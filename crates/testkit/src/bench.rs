@@ -336,6 +336,58 @@ pub fn results_to_json(suite: &str, results: &[BenchStats]) -> String {
     out
 }
 
+/// Parses a `BENCH_*.json` document produced by [`results_to_json`] back
+/// into `(full_name, median_ns)` pairs — enough for regression comparison
+/// without a general JSON parser.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry encountered.
+pub fn parse_results_json(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\":") {
+        rest = &rest[pos + "\"name\":".len()..];
+        let open = rest
+            .find('"')
+            .ok_or_else(|| "missing opening quote after \"name\":".to_string())?;
+        rest = &rest[open + 1..];
+        let mut name = String::new();
+        let mut chars = rest.char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    consumed = Some(i + 1);
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => name.push('\n'),
+                    Some((_, e)) => name.push(e),
+                    None => return Err(format!("unterminated escape in name `{name}`")),
+                },
+                c => name.push(c),
+            }
+        }
+        let consumed = consumed.ok_or_else(|| format!("unterminated name `{name}`"))?;
+        rest = &rest[consumed..];
+
+        let mpos = rest
+            .find("\"median_ns\":")
+            .ok_or_else(|| format!("bench `{name}` has no median_ns field"))?;
+        let after = rest[mpos + "\"median_ns\":".len()..].trim_start();
+        let end = after
+            .find([',', '}'])
+            .ok_or_else(|| format!("unterminated median_ns for `{name}`"))?;
+        let median: f64 = after[..end]
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad median_ns for `{name}`: {e}"))?;
+        out.push((name, median));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +463,34 @@ mod tests {
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_results() {
+        let stats = run_fixture(5);
+        let json = results_to_json("fixture", &stats);
+        let parsed = parse_results_json(&json).unwrap();
+        assert_eq!(parsed.len(), stats.len());
+        assert_eq!(parsed[0].0, stats[0].full_name());
+        assert!((parsed[0].1 - stats[0].median_ns).abs() < 0.001);
+    }
+
+    #[test]
+    fn parse_handles_escaped_names() {
+        let json = r#"{"benches": [{"name": "g\\h/\"x\"", "median_ns": 12.5}]}"#;
+        let parsed = parse_results_json(json).unwrap();
+        assert_eq!(parsed, vec![("g\\h/\"x\"".to_string(), 12.5)]);
+    }
+
+    #[test]
+    fn parse_rejects_missing_median() {
+        let json = r#"{"benches": [{"name": "a/b", "p95_ns": 1.0}]}"#;
+        assert!(parse_results_json(json).is_err());
+    }
+
+    #[test]
+    fn parse_of_empty_document_is_empty() {
+        assert_eq!(parse_results_json("{}").unwrap(), vec![]);
     }
 
     #[test]

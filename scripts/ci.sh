@@ -15,7 +15,10 @@
 #   2. formatting           - cargo fmt --check
 #   3. lints                - cargo clippy --all-targets -D warnings
 #   4. build + test         - --locked --offline, per profile
-#   5. bench smoke          - one quick ivl-bench micro run
+#   5. bench smoke + gate   - one quick ivl-bench micro run, diffed against
+#                             BENCH_baseline.json by bench_compare; fails on
+#                             a median regression beyond the threshold
+#                             (IVL_BENCH_GATE_THRESHOLD, default 1.0 = 2x)
 
 set -euo pipefail
 
@@ -78,7 +81,18 @@ release)
 esac
 
 step "bench smoke (IVL_BENCH_QUICK=1)"
-IVL_BENCH_QUICK=1 cargo bench -p ivl-bench --locked --offline
+# Absolute path: the bench binary's working directory is the bench package,
+# not the workspace root, so a relative IVL_BENCH_JSON would land elsewhere.
+BENCH_JSON="$(pwd)/target/bench_quick.json"
+IVL_BENCH_QUICK=1 IVL_BENCH_JSON="$BENCH_JSON" \
+    cargo bench -p ivl-bench --locked --offline
+
+step "bench regression gate (vs BENCH_baseline.json)"
+# Quick-mode medians on shared runners are noisy; the generous default
+# threshold catches order-of-magnitude mistakes, not percent-level drift.
+cargo run -q -p ivl-bench --bin bench_compare --locked --offline -- \
+    BENCH_baseline.json "$BENCH_JSON" \
+    --threshold "${IVL_BENCH_GATE_THRESHOLD:-1.0}"
 
 step "done"
 echo "OK: all CI checks passed ($PROFILE_FILTER)"
