@@ -34,6 +34,7 @@ use ivl_secure_mem::subsystem::IntegritySubsystem;
 use ivl_sim_core::addr::PageNum;
 use ivl_sim_core::config::{IvVariant, SystemConfig};
 use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::obs::{EventKind, Obs};
 use ivl_sim_core::rng::Xoshiro256;
 use ivl_sim_core::Cycle;
 use ivl_workloads::rsa::SquareMultiplyVictim;
@@ -147,26 +148,51 @@ fn evict(scheme: &mut Scheme, pages: &[PageNum]) {
     }
 }
 
-/// One attacker reload: returns the observed latency.
+/// One attacker reload: returns the observed latency and traces it as a
+/// [`EventKind::Probe`] observation when tracing is live.
+#[allow(clippy::too_many_arguments)]
 fn probe(
     scheme: &mut Scheme,
     dram: &mut DramModel,
     page: PageNum,
     attacker: DomainId,
     now: &mut Cycle,
+    obs: &Obs,
+    bit: u32,
 ) -> Cycle {
     let start = *now;
     let done = scheme
         .subsystem()
         .data_access(start, dram, page.block(0), attacker, false);
     *now = done + 500;
-    done - start
+    let latency = done - start;
+    if obs.tracer.enabled() {
+        obs.tracer.emit(
+            start,
+            "attacker",
+            Some(attacker),
+            None,
+            EventKind::Probe { bit, latency },
+        );
+    }
+    latency
 }
 
 /// Runs the end-to-end attack.
 pub fn run_attack(target: TargetScheme, cfg: &AttackConfig) -> AttackResult {
+    run_attack_with_obs(target, cfg, &Obs::disabled())
+}
+
+/// Runs the end-to-end attack while emitting attacker [`EventKind::Probe`]
+/// observations (and the target scheme's own events) through `obs`. The
+/// forensics helper
+/// [`probe_observations`](ivl_sim_core::obs::trace::probe_observations)
+/// reconstructs exactly the attacker's timing view from the resulting
+/// trace.
+pub fn run_attack_with_obs(target: TargetScheme, cfg: &AttackConfig, obs: &Obs) -> AttackResult {
     let sys = SystemConfig::default();
     let mut dram = DramModel::new(&sys.dram);
+    dram.set_obs(obs.clone());
     let mut rng = Xoshiro256::seed_from(cfg.seed);
 
     let victim_domain = DomainId::new_unchecked(1);
@@ -192,6 +218,7 @@ pub fn run_attack(target: TargetScheme, cfg: &AttackConfig) -> AttackResult {
             AllocatorKind::Nfl,
         ))),
     };
+    scheme.subsystem().attach_obs(obs.clone());
 
     let mut now: Cycle = 0;
 
@@ -216,7 +243,15 @@ pub fn run_attack(target: TargetScheme, cfg: &AttackConfig) -> AttackResult {
     for _ in 0..CAL_ROUNDS {
         // Slow: nothing primed the shared node.
         evict(&mut scheme, &[sqr_page, mul_page, p1a, p2a]);
-        slow_sum += probe(&mut scheme, &mut dram, p1a, attacker_domain, &mut now);
+        slow_sum += probe(
+            &mut scheme,
+            &mut dram,
+            p1a,
+            attacker_domain,
+            &mut now,
+            &Obs::disabled(),
+            0,
+        );
         // Fast: the victim's sqr (always executed) primes it.
         evict(&mut scheme, &[sqr_page, mul_page, p1a, p2a]);
         for b in victim.step(0).accesses.iter().take(4) {
@@ -225,7 +260,15 @@ pub fn run_attack(target: TargetScheme, cfg: &AttackConfig) -> AttackResult {
                 .data_access(now, &mut dram, *b, victim_domain, false)
                 + 50;
         }
-        fast_sum += probe(&mut scheme, &mut dram, p1a, attacker_domain, &mut now);
+        fast_sum += probe(
+            &mut scheme,
+            &mut dram,
+            p1a,
+            attacker_domain,
+            &mut now,
+            &Obs::disabled(),
+            0,
+        );
     }
     let threshold = (slow_sum / CAL_ROUNDS + fast_sum / CAL_ROUNDS) / 2;
 
@@ -242,8 +285,25 @@ pub fn run_attack(target: TargetScheme, cfg: &AttackConfig) -> AttackResult {
                 + 50;
         }
         let spoiled = rng.chance(cfg.noise);
-        let p1 = probe(&mut scheme, &mut dram, p1a, attacker_domain, &mut now);
-        let p2 = probe(&mut scheme, &mut dram, p2a, attacker_domain, &mut now);
+        let bit = step.bit.min(u32::MAX as usize) as u32;
+        let p1 = probe(
+            &mut scheme,
+            &mut dram,
+            p1a,
+            attacker_domain,
+            &mut now,
+            obs,
+            bit,
+        );
+        let p2 = probe(
+            &mut scheme,
+            &mut dram,
+            p2a,
+            attacker_domain,
+            &mut now,
+            obs,
+            bit,
+        );
         let guess = if spoiled {
             rng.chance(0.5)
         } else {
@@ -320,6 +380,39 @@ mod tests {
             avg(&fast),
             avg(&slow)
         );
+    }
+
+    #[test]
+    fn traced_attack_reconstructs_the_timing_view() {
+        use ivl_sim_core::obs::trace::probe_observations;
+        use ivl_sim_core::obs::{Profiler, TraceFilter, Tracer};
+
+        let obs = Obs {
+            tracer: Tracer::bounded(1 << 20, TraceFilter::default()),
+            profiler: Profiler::disabled(),
+        };
+        let r = run_attack_with_obs(TargetScheme::GlobalTree, &cfg(64, 0.0), &obs);
+        let records = obs.tracer.sorted_records();
+        let probes = probe_observations(&records);
+
+        // Two probes per recovered bit (sqr then mul), none from
+        // calibration, and the latencies match the reported samples.
+        assert_eq!(probes.len(), 2 * r.samples.len());
+        for (s, pair) in r.samples.iter().zip(probes.chunks(2)) {
+            assert_eq!(pair[0], (s.bit as u32, s.p1_latency));
+            assert_eq!(pair[1], (s.bit as u32, s.p2_latency));
+        }
+        // The victim's metadata traffic is in the trace too — the access
+        // pattern the attacker is actually measuring.
+        assert!(
+            records
+                .iter()
+                .any(|rec| rec.component == "scheme" && rec.domain.is_some()),
+            "scheme-side metadata events missing"
+        );
+        // Untraced runs return identical results.
+        let plain = run_attack(TargetScheme::GlobalTree, &cfg(64, 0.0));
+        assert_eq!(plain.samples, r.samples);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use ivl_simulator::{run_mix, MixResult, RunConfig, SchemeKind};
 use ivl_workloads::mixes::{Mix, MIXES};
@@ -60,13 +62,31 @@ pub fn run_matrix(schemes: &[SchemeKind], run: &RunConfig) -> Vec<MixResult> {
 }
 
 /// Runs a selected set of mixes under every scheme in `schemes`.
+///
+/// Emits a progress line to stderr as each (mix, scheme) point finishes.
+/// Progress reporting rides on a shared atomic counter, so completion
+/// order shows through on stderr while the returned results stay in job
+/// order (the parallel runner's collector is order-preserving).
 pub fn run_matrix_on(mixes: &[Mix], schemes: &[SchemeKind], run: &RunConfig) -> Vec<MixResult> {
     let jobs: Vec<(&Mix, SchemeKind)> = mixes
         .iter()
         .flat_map(|m| schemes.iter().map(move |s| (m, *s)))
         .collect();
     let workers = ivl_testkit::par::available_workers();
-    ivl_testkit::par::map_parallel(&jobs, workers, |(mix, scheme)| run_mix(mix, *scheme, run))
+    let total = jobs.len();
+    let done = AtomicUsize::new(0);
+    let started = Instant::now();
+    ivl_testkit::par::map_parallel(&jobs, workers, |(mix, scheme)| {
+        let r = run_mix(mix, *scheme, run);
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "[{n:>3}/{total}] {:<5} {:<14} {:>6.1}s",
+            mix.name,
+            scheme.label(),
+            started.elapsed().as_secs_f64()
+        );
+        r
+    })
 }
 
 /// Finds the result for (mix, scheme) in a `run_matrix` output.

@@ -50,6 +50,63 @@ pub struct AccessOutcome {
     pub bypassed: bool,
 }
 
+/// Internal access tallies kept by every cache organization, so the
+/// observability layer can export per-cache statistics without each
+/// wrapper shadow-counting outcomes.
+///
+/// All fields accumulate saturating (matching the `ivl-sim-core` stats
+/// policy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTally {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (including bypasses).
+    pub misses: u64,
+    /// Fills that evicted a victim.
+    pub evictions: u64,
+    /// Evicted victims that were dirty (require a write-back).
+    pub dirty_evictions: u64,
+    /// Misses that could not fill (fully locked set).
+    pub bypasses: u64,
+}
+
+impl CacheTally {
+    /// Folds one access outcome into the tally.
+    pub fn record(&mut self, outcome: &AccessOutcome) {
+        if outcome.hit {
+            self.hits = self.hits.saturating_add(1);
+        } else {
+            self.misses = self.misses.saturating_add(1);
+        }
+        if let Some(e) = outcome.evicted {
+            self.evictions = self.evictions.saturating_add(1);
+            if e.dirty {
+                self.dirty_evictions = self.dirty_evictions.saturating_add(1);
+            }
+        }
+        if outcome.bypassed {
+            self.bypasses = self.bypasses.saturating_add(1);
+        }
+    }
+
+    /// Total accesses recorded.
+    pub const fn total(&self) -> u64 {
+        self.hits.saturating_add(self.misses)
+    }
+
+    /// Tallies accumulated since an earlier snapshot (saturating
+    /// fieldwise).
+    pub const fn since(&self, earlier: &CacheTally) -> CacheTally {
+        CacheTally {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            dirty_evictions: self.dirty_evictions.saturating_sub(earlier.dirty_evictions),
+            bypasses: self.bypasses.saturating_sub(earlier.bypasses),
+        }
+    }
+}
+
 /// Common interface of all cache organizations in this crate.
 pub trait CacheModel {
     /// Performs an access: on a hit, updates recency (and dirtiness for a

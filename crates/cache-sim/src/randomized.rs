@@ -16,7 +16,7 @@
 
 use ivl_sim_core::rng::{splitmix64, Xoshiro256};
 
-use crate::{AccessOutcome, CacheModel, Evicted};
+use crate::{AccessOutcome, CacheModel, CacheTally, Evicted};
 
 #[derive(Debug, Clone, Copy)]
 struct Line {
@@ -54,6 +54,7 @@ pub struct RandomizedCache {
     index_keys: [u64; 2],
     rng: Xoshiro256,
     clock: u64,
+    tally: CacheTally,
 }
 
 impl RandomizedCache {
@@ -88,7 +89,13 @@ impl RandomizedCache {
             index_keys: [k0, k1],
             rng: Xoshiro256::seed_from(seed ^ 0xC0FF_EE00),
             clock: 0,
+            tally: CacheTally::default(),
         }
+    }
+
+    /// Lifetime access tallies (hits, misses, evictions).
+    pub fn tally(&self) -> CacheTally {
+        self.tally
     }
 
     /// Creates a cache from a capacity/associativity/line-size geometry.
@@ -113,8 +120,8 @@ impl RandomizedCache {
     }
 }
 
-impl CacheModel for RandomizedCache {
-    fn access(&mut self, key: u64, is_write: bool) -> AccessOutcome {
+impl RandomizedCache {
+    fn access_inner(&mut self, key: u64, is_write: bool) -> AccessOutcome {
         self.clock += 1;
         let clock = self.clock;
 
@@ -179,6 +186,14 @@ impl CacheModel for RandomizedCache {
             evicted,
             bypassed: false,
         }
+    }
+}
+
+impl CacheModel for RandomizedCache {
+    fn access(&mut self, key: u64, is_write: bool) -> AccessOutcome {
+        let outcome = self.access_inner(key, is_write);
+        self.tally.record(&outcome);
+        outcome
     }
 
     fn probe(&self, key: u64) -> bool {
@@ -286,6 +301,22 @@ mod tests {
         c.access(2, false);
         c.invalidate(1);
         assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn tally_matches_observed_outcomes() {
+        let mut c = RandomizedCache::new(8, 2, 7);
+        let mut hits = 0u64;
+        let mut evictions = 0u64;
+        for k in 0..40u64 {
+            let out = c.access(k % 10, false);
+            hits += out.hit as u64;
+            evictions += out.evicted.is_some() as u64;
+        }
+        let t = c.tally();
+        assert_eq!(t.hits, hits);
+        assert_eq!(t.misses, 40 - hits);
+        assert_eq!(t.evictions, evictions);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! locked lines always hit and are never chosen as victims. If every way of
 //! a set is locked, fills for other keys bypass the cache.
 
-use crate::{AccessOutcome, CacheModel, Evicted};
+use crate::{AccessOutcome, CacheModel, CacheTally, Evicted};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Line {
@@ -43,6 +43,7 @@ pub struct SetAssocCache {
     ways: usize,
     lines: Vec<Line>,
     clock: u64,
+    tally: CacheTally,
 }
 
 impl SetAssocCache {
@@ -62,7 +63,13 @@ impl SetAssocCache {
             ways,
             lines: vec![EMPTY; sets * ways],
             clock: 0,
+            tally: CacheTally::default(),
         }
+    }
+
+    /// Lifetime access tallies (hits, misses, evictions, bypasses).
+    pub fn tally(&self) -> CacheTally {
+        self.tally
     }
 
     /// Creates a cache from a capacity/associativity/line-size geometry.
@@ -171,8 +178,8 @@ impl SetAssocCache {
     }
 }
 
-impl CacheModel for SetAssocCache {
-    fn access(&mut self, key: u64, is_write: bool) -> AccessOutcome {
+impl SetAssocCache {
+    fn access_inner(&mut self, key: u64, is_write: bool) -> AccessOutcome {
         let set = self.set_index(key);
         self.clock += 1;
         let clock = self.clock;
@@ -234,6 +241,14 @@ impl CacheModel for SetAssocCache {
                 bypassed: true,
             },
         }
+    }
+}
+
+impl CacheModel for SetAssocCache {
+    fn access(&mut self, key: u64, is_write: bool) -> AccessOutcome {
+        let outcome = self.access_inner(key, is_write);
+        self.tally.record(&outcome);
+        outcome
     }
 
     fn probe(&self, key: u64) -> bool {
@@ -353,6 +368,23 @@ mod tests {
         let c = SetAssocCache::with_geometry(256 * 1024, 8, 64);
         assert_eq!(c.sets(), 512);
         assert_eq!(c.ways(), 8);
+    }
+
+    #[test]
+    fn tally_tracks_outcomes() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.access(1, true); // miss, fill
+        c.access(1, false); // hit
+        c.access(2, false); // miss, dirty eviction
+        c.lock(2);
+        c.access(3, false); // bypass (set fully locked)
+        let t = c.tally();
+        assert_eq!(t.hits, 1);
+        assert_eq!(t.misses, 3);
+        assert_eq!(t.evictions, 1);
+        assert_eq!(t.dirty_evictions, 1);
+        assert_eq!(t.bypasses, 1);
+        assert_eq!(t.total(), 4);
     }
 
     #[test]

@@ -25,6 +25,9 @@
 
 use ivl_sim_core::addr::{BlockAddr, BLOCK_BYTES};
 use ivl_sim_core::config::DramConfig;
+use ivl_sim_core::obs::registry::StatsRegistry;
+use ivl_sim_core::obs::trace::{EventKind, RowResult};
+use ivl_sim_core::obs::Obs;
 use ivl_sim_core::stats::Counter;
 use ivl_sim_core::Cycle;
 
@@ -43,6 +46,8 @@ pub struct DramCoord {
 struct Bank {
     open_row: Option<u64>,
     busy_until: Cycle,
+    row_hits: u64,
+    row_conflicts: u64,
 }
 
 /// Row-buffer outcome of a single access.
@@ -80,6 +85,7 @@ pub struct DramModel {
     /// Per-channel data-bus availability.
     bus_free: Vec<Cycle>,
     stats: DramStats,
+    obs: Obs,
 }
 
 impl DramModel {
@@ -101,7 +107,9 @@ impl DramModel {
                 vec![
                     Bank {
                         open_row: None,
-                        busy_until: 0
+                        busy_until: 0,
+                        row_hits: 0,
+                        row_conflicts: 0,
                     };
                     banks_per_channel
                 ];
@@ -109,7 +117,14 @@ impl DramModel {
             ],
             bus_free: vec![0; cfg.channels],
             stats: DramStats::default(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; the model emits a `DramAccess`
+    /// trace event per request while it is enabled.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Maps a block address to its DRAM coordinates (block-interleaved
@@ -147,8 +162,14 @@ impl DramModel {
             None => (RowOutcome::Empty, self.cfg.t_rcd + self.cfg.t_cas),
         };
         match outcome {
-            RowOutcome::Hit => self.stats.row_hits.inc(),
-            RowOutcome::Conflict => self.stats.row_conflicts.inc(),
+            RowOutcome::Hit => {
+                self.stats.row_hits.inc();
+                bank.row_hits = bank.row_hits.saturating_add(1);
+            }
+            RowOutcome::Conflict => {
+                self.stats.row_conflicts.inc();
+                bank.row_conflicts = bank.row_conflicts.saturating_add(1);
+            }
             RowOutcome::Empty => {}
         }
 
@@ -160,6 +181,26 @@ impl DramModel {
         bank.open_row = Some(c.row);
         bank.busy_until = data_ready;
         self.bus_free[c.channel] = done;
+
+        if self.obs.tracer.enabled() {
+            self.obs.tracer.emit(
+                now,
+                "dram",
+                None,
+                None,
+                EventKind::DramAccess {
+                    channel: c.channel as u8,
+                    bank: c.bank as u8,
+                    row: match outcome {
+                        RowOutcome::Hit => RowResult::Hit,
+                        RowOutcome::Empty => RowResult::Empty,
+                        RowOutcome::Conflict => RowResult::Conflict,
+                    },
+                    is_write,
+                    latency: done - now,
+                },
+            );
+        }
         done
     }
 
@@ -171,6 +212,31 @@ impl DramModel {
     /// Snapshot of statistics.
     pub fn stats(&self) -> DramStats {
         self.stats
+    }
+
+    /// Exports aggregate and per-bank statistics under `prefix` (e.g.
+    /// `dram.reads`, `dram.ch0.bank3.row_conflicts`). Banks that saw no
+    /// row-buffer activity are skipped to keep the registry readable.
+    pub fn export_stats(&self, prefix: &str, reg: &mut StatsRegistry) {
+        reg.set_counter(&format!("{prefix}.reads"), self.stats.reads.get());
+        reg.set_counter(&format!("{prefix}.writes"), self.stats.writes.get());
+        reg.set_counter(&format!("{prefix}.row_hits"), self.stats.row_hits.get());
+        reg.set_counter(
+            &format!("{prefix}.row_conflicts"),
+            self.stats.row_conflicts.get(),
+        );
+        for (ch, banks) in self.banks.iter().enumerate() {
+            for (b, bank) in banks.iter().enumerate() {
+                if bank.row_hits == 0 && bank.row_conflicts == 0 {
+                    continue;
+                }
+                reg.set_counter(&format!("{prefix}.ch{ch}.bank{b}.row_hits"), bank.row_hits);
+                reg.set_counter(
+                    &format!("{prefix}.ch{ch}.bank{b}.row_conflicts"),
+                    bank.row_conflicts,
+                );
+            }
+        }
     }
 
     /// The configuration this model was built with.
@@ -260,6 +326,44 @@ mod tests {
         assert_eq!(s.reads.get(), 1);
         assert_eq!(s.writes.get(), 1);
         assert_eq!(s.row_hits.get(), 1);
+    }
+
+    #[test]
+    fn export_reconciles_with_aggregate_stats_and_emits_trace() {
+        use ivl_sim_core::obs::trace::TraceFilter;
+        use ivl_sim_core::obs::{Obs, Tracer};
+
+        let mut d = model();
+        let mut obs = Obs::disabled();
+        obs.tracer = Tracer::bounded(64, TraceFilter::all());
+        d.set_obs(obs.clone());
+
+        let b = BlockAddr::new(0);
+        d.access(0, b, false);
+        d.access(1000, b, true); // row hit
+
+        let mut reg = StatsRegistry::new();
+        d.export_stats("dram", &mut reg);
+        assert_eq!(reg.counter("dram.reads"), Some(d.stats().reads.get()));
+        assert_eq!(reg.counter("dram.row_hits"), Some(1));
+        // Per-bank counters sum to the aggregate.
+        let bank_hits: u64 = reg
+            .iter()
+            .filter(|(p, _)| p.starts_with("dram.ch") && p.ends_with("row_hits"))
+            .filter_map(|(p, _)| reg.counter(p))
+            .sum();
+        assert_eq!(bank_hits, d.stats().row_hits.get());
+
+        let records = obs.tracer.sorted_records();
+        assert_eq!(records.len(), 2);
+        assert!(matches!(
+            records[1].kind,
+            EventKind::DramAccess {
+                row: RowResult::Hit,
+                is_write: true,
+                ..
+            }
+        ));
     }
 
     #[test]

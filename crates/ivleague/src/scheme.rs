@@ -27,6 +27,9 @@ use ivl_secure_mem::subsystem::{IntegritySubsystem, IvStats};
 use ivl_sim_core::addr::{BlockAddr, PageNum};
 use ivl_sim_core::config::{IvVariant, SystemConfig};
 use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::obs::registry::StatsRegistry;
+use ivl_sim_core::obs::trace::{CacheKind, EventKind};
+use ivl_sim_core::obs::{Obs, Phase};
 use ivl_sim_core::Cycle;
 
 use crate::bitvector::{BvAllocator, BvVariant};
@@ -100,6 +103,7 @@ pub struct IvLeagueSubsystem {
     /// First block of the page-table region.
     pt_base: u64,
     stats: IvStats,
+    obs: Obs,
 }
 
 impl IvLeagueSubsystem {
@@ -198,6 +202,31 @@ impl IvLeagueSubsystem {
             nfl_hot_offset: top_blocks + depth_blocks,
             pt_base,
             stats: IvStats::default(),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Emits a metadata-cache access event when tracing is on.
+    fn trace_cache(
+        &self,
+        now: Cycle,
+        domain: DomainId,
+        cache: CacheKind,
+        hit: bool,
+        evicted: bool,
+    ) {
+        if self.obs.tracer.enabled() {
+            self.obs.tracer.emit(
+                now,
+                "scheme",
+                Some(domain),
+                None,
+                EventKind::CacheAccess {
+                    cache,
+                    hit,
+                    evicted,
+                },
+            );
         }
     }
 
@@ -288,6 +317,7 @@ impl IvLeagueSubsystem {
         ops: &[TaggedNflOp],
     ) -> Cycle {
         let entries = self.cfg.ivleague.nflb_entries_per_domain;
+        let _nfl_timing = self.obs.profiler.scope(Phase::Nfl);
         let mut t = now;
         for op in ops {
             let addr = self.nfl_block_addr(op);
@@ -299,17 +329,44 @@ impl IvLeagueSubsystem {
                 Some(dirty) => {
                     self.stats.nflb.hit();
                     *dirty |= op.op.write;
+                    if self.obs.tracer.enabled() {
+                        self.obs.tracer.emit(
+                            t,
+                            "scheme",
+                            Some(domain),
+                            None,
+                            EventKind::NflbAccess { hit: true },
+                        );
+                    }
                 }
                 None => {
                     self.stats.nflb.miss();
                     t = dram.access(t, addr, false);
                     self.stats.nfl_mem_reads += 1;
                     self.stats.meta_reads += 1;
+                    if self.obs.tracer.enabled() {
+                        self.obs.tracer.emit(
+                            t,
+                            "scheme",
+                            Some(domain),
+                            None,
+                            EventKind::NflbAccess { hit: false },
+                        );
+                    }
                     let buf = self
                         .nflb
                         .entry(domain)
                         .or_insert_with(|| CamBuffer::new(entries));
                     if let Some((victim, dirty)) = buf.insert(addr.index(), op.op.write) {
+                        if self.obs.tracer.enabled() {
+                            self.obs.tracer.emit(
+                                t,
+                                "scheme",
+                                Some(domain),
+                                None,
+                                EventKind::NflbEvict,
+                            );
+                        }
                         if dirty {
                             dram.access(t, BlockAddr::new(victim), true);
                             self.stats.nfl_mem_writes += 1;
@@ -329,9 +386,11 @@ impl IvLeagueSubsystem {
         now: Cycle,
         dram: &mut DramModel,
         page: PageNum,
+        domain: DomainId,
     ) -> (Cycle, Option<LeafSlot>) {
         let hit = self.lmm_cache.access(page);
         self.stats.lmm_cache.record(hit);
+        self.trace_cache(now, domain, CacheKind::Lmm, hit, false);
         let t = if hit {
             now + self.cfg.ivleague.lmm_hit_latency
         } else {
@@ -344,8 +403,16 @@ impl IvLeagueSubsystem {
 
     /// Verification walk from the mapped slot to the TreeLing root; stops
     /// at the first cached node or at the locked upper structure.
-    fn walk(&mut self, now: Cycle, dram: &mut DramModel, slot: LeafSlot, is_write: bool) -> Cycle {
+    fn walk(
+        &mut self,
+        now: Cycle,
+        dram: &mut DramModel,
+        slot: LeafSlot,
+        domain: DomainId,
+        is_write: bool,
+    ) -> Cycle {
         let g = self.tl_layout.geometry();
+        let _walk_timing = self.obs.profiler.scope(Phase::TreeWalk);
         let mut t = now;
         let mut path_len = 0u64;
         let mut node = Some(slot.node);
@@ -354,6 +421,18 @@ impl IvLeagueSubsystem {
             let hit = self.tree_cache.probe(nb.index());
             let out = self.tree_cache.access(nb.index(), is_write);
             self.stats.tree_cache.record(hit);
+            if self.obs.tracer.enabled() {
+                self.obs.tracer.emit(
+                    t,
+                    "scheme",
+                    Some(domain),
+                    None,
+                    EventKind::TreeWalkLevel {
+                        level: n.level.min(u8::MAX as u32) as u8,
+                        hit,
+                    },
+                );
+            }
             if let Some(e) = out.evicted.filter(|e| e.dirty) {
                 self.meta_writeback(t, dram, e.key);
             }
@@ -471,6 +550,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         let mac_block = self.data_layout.mac_block(block);
         let mac = self.mac_cache.access(mac_block.index(), is_write);
         self.stats.mac_cache.record(mac.hit);
+        self.trace_cache(now, domain, CacheKind::Mac, mac.hit, mac.evicted.is_some());
         if let Some(e) = mac.evicted.filter(|e| e.dirty) {
             self.meta_writeback(now, dram, e.key);
         }
@@ -486,6 +566,13 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         let ctr_block = self.data_layout.counter_block(page);
         let ctr = self.ctr_cache.access(ctr_block.index(), is_write);
         self.stats.counter_cache.record(ctr.hit);
+        self.trace_cache(
+            now,
+            domain,
+            CacheKind::Counter,
+            ctr.hit,
+            ctr.evicted.is_some(),
+        );
         if let Some(e) = ctr.evicted.filter(|e| e.dirty) {
             self.meta_writeback(now, dram, e.key);
         }
@@ -499,10 +586,10 @@ impl IntegritySubsystem for IvLeagueSubsystem {
                 self.stats.meta_reads += 1;
             }
             // Tree update: LMM lookup then update walk up to a cached node.
-            let (t_lmm, slot) = self.lmm_lookup(t, dram, page);
+            let (t_lmm, slot) = self.lmm_lookup(t, dram, page, domain);
             t = t_lmm;
             if let Some(slot) = slot {
-                t = self.walk(t, dram, slot, true);
+                t = self.walk(t, dram, slot, domain, true);
             }
             t.max(mac_done).min(now + 200)
         } else {
@@ -518,10 +605,10 @@ impl IntegritySubsystem for IvLeagueSubsystem {
                 // a miss adds the memory indirection the paper charges
                 // IvLeague-Basic for (one page-table read before the walk
                 // can start).
-                let (lmm_done, slot) = self.lmm_lookup(now, dram, page);
+                let (lmm_done, slot) = self.lmm_lookup(now, dram, page, domain);
                 let mut t = ctr_done.max(lmm_done);
                 if let Some(slot) = slot {
-                    t = self.walk(t, dram, slot, false);
+                    t = self.walk(t, dram, slot, domain, false);
                 }
                 t
             };
@@ -540,7 +627,8 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         if self.slot_of(page).is_some() {
             return now;
         }
-        match &mut self.mapper {
+        let _alloc_timing = self.obs.profiler.scope(Phase::Alloc);
+        let done = match &mut self.mapper {
             Mapper::Nfl(f) => match f.map_page(domain, page) {
                 Ok(out) => {
                     let mut t = self.charge_nfl_ops(now, dram, domain, &out.nfl_ops);
@@ -589,7 +677,19 @@ impl IntegritySubsystem for IvLeagueSubsystem {
                     now
                 }
             },
+        };
+        if self.obs.tracer.enabled() {
+            self.obs.tracer.emit(
+                now,
+                "scheme",
+                Some(domain),
+                None,
+                EventKind::PageAlloc {
+                    failed: self.slot_of(page).is_none(),
+                },
+            );
         }
+        done
     }
 
     fn page_dealloc(
@@ -599,6 +699,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         page: PageNum,
         domain: DomainId,
     ) -> Cycle {
+        let _alloc_timing = self.obs.profiler.scope(Phase::Alloc);
         let t = match &mut self.mapper {
             Mapper::Nfl(f) => match f.unmap_page(domain, page) {
                 Ok(out) => self.charge_nfl_ops(now, dram, domain, &out.nfl_ops),
@@ -623,6 +724,11 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         self.lmm_cache.invalidate(page);
         dram.access(t, pte_block(self.pt_base, page), true);
         self.stats.meta_writes += 1;
+        if self.obs.tracer.enabled() {
+            self.obs
+                .tracer
+                .emit(now, "scheme", Some(domain), None, EventKind::PageDealloc);
+        }
         t
     }
 
@@ -639,8 +745,46 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         &self.stats
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = IvStats::default();
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    fn export_stats(&self, prefix: &str, reg: &mut StatsRegistry) {
+        self.stats.export(prefix, reg);
+        reg.set_gauge(
+            &format!("{prefix}.tree_cache_occupancy"),
+            self.tree_cache.occupancy() as f64,
+        );
+        reg.set_gauge(
+            &format!("{prefix}.tree_cache_locked"),
+            self.tree_cache.locked_count() as f64,
+        );
+        if let Mapper::Nfl(f) = &self.mapper {
+            let fs = f.stats();
+            reg.set_gauge(
+                &format!("{prefix}.forest.mean_utilization"),
+                fs.mean_utilization(),
+            );
+            reg.set_counter(
+                &format!("{prefix}.forest.untracked_slots"),
+                fs.untracked_slots,
+            );
+            reg.set_counter(&format!("{prefix}.forest.conversions"), fs.conversions);
+            reg.set_counter(
+                &format!("{prefix}.forest.treelings_assigned"),
+                fs.treelings_assigned,
+            );
+            reg.set_counter(
+                &format!("{prefix}.forest.starvation_events"),
+                f.starvation_events(),
+            );
+        }
+        for (domain, buf) in &self.nflb {
+            reg.set_gauge(
+                &format!("{prefix}.d{}.nflb_occupancy", domain.index()),
+                buf.len() as f64,
+            );
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -794,5 +938,75 @@ mod tests {
         assert_eq!(s.name(), "IvLeague-Pro");
         let s = IvLeagueSubsystem::new(&cfg, IvVariant::Pro, AllocatorKind::BvV2);
         assert_eq!(s.name(), "BV-v2");
+    }
+
+    #[test]
+    fn trace_and_export_reconcile_with_stats() {
+        use ivl_sim_core::obs::{Profiler, TraceFilter, Tracer, DEFAULT_TRACE_CAP};
+
+        let cfg = small_cfg();
+        let mut dram = DramModel::new(&cfg.dram);
+        let mut s = IvLeagueSubsystem::new(&cfg, IvVariant::Basic, AllocatorKind::Nfl);
+        let obs = Obs {
+            tracer: Tracer::bounded(DEFAULT_TRACE_CAP, TraceFilter::default()),
+            profiler: Profiler::enabled(),
+        };
+        s.attach_obs(obs.clone());
+
+        let mut t = 0;
+        for i in 0..32u64 {
+            let p = PageNum::new(i);
+            t = s.page_alloc(t, &mut dram, p, d(0)) + 10;
+            t = s.data_access(t, &mut dram, p.block(0), d(0), i % 4 == 0) + 10;
+        }
+        s.page_dealloc(t, &mut dram, PageNum::new(0), d(0));
+
+        let records = obs.tracer.sorted_records();
+        let st = s.stats();
+
+        let count = |pred: &dyn Fn(&EventKind) -> bool| {
+            records.iter().filter(|r| pred(&r.kind)).count() as u64
+        };
+        // Every NFLB lookup, tree-walk node visit, and counter/MAC cache
+        // access must have left exactly one trace event.
+        assert_eq!(
+            count(&|k| matches!(k, EventKind::NflbAccess { .. })),
+            st.nflb.total()
+        );
+        assert_eq!(
+            count(&|k| matches!(k, EventKind::TreeWalkLevel { .. })),
+            st.tree_cache.total()
+        );
+        assert_eq!(
+            count(&|k| matches!(
+                k,
+                EventKind::CacheAccess {
+                    cache: CacheKind::Counter,
+                    ..
+                }
+            )),
+            st.counter_cache.total()
+        );
+        assert_eq!(count(&|k| matches!(k, EventKind::PageAlloc { .. })), 32);
+        assert_eq!(count(&|k| matches!(k, EventKind::PageDealloc)), 1);
+        assert!(records.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert!(records.iter().all(|r| r.domain == Some(d(0))));
+
+        // The registry export must reconcile with the raw accessors.
+        let mut reg = StatsRegistry::new();
+        s.export_stats("iv", &mut reg);
+        assert_eq!(reg.counter("iv.data_reads"), Some(st.data_reads));
+        assert_eq!(reg.counter("iv.meta_reads"), Some(st.meta_reads));
+        assert_eq!(
+            reg.ratio("iv.nflb").map(|hm| hm.total()),
+            Some(st.nflb.total())
+        );
+        assert!(reg.gauge("iv.forest.mean_utilization").is_some());
+        assert!(reg.gauge("iv.d0.nflb_occupancy").is_some());
+
+        // Host-time phases were entered.
+        assert!(obs.profiler.entries(Phase::Nfl) > 0);
+        assert!(obs.profiler.entries(Phase::TreeWalk) > 0);
+        assert_eq!(obs.profiler.entries(Phase::Alloc), 33);
     }
 }

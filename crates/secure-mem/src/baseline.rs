@@ -14,6 +14,8 @@ use ivl_dram::DramModel;
 use ivl_sim_core::addr::{BlockAddr, PageNum};
 use ivl_sim_core::config::SecureMemConfig;
 use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::obs::trace::{CacheKind, EventKind};
+use ivl_sim_core::obs::Obs;
 use ivl_sim_core::Cycle;
 
 use crate::layout::MetadataLayout;
@@ -43,6 +45,7 @@ pub struct GlobalBmtSubsystem {
     tree_cache: SetAssocCache,
     mac_cache: SetAssocCache,
     stats: IvStats,
+    obs: Obs,
 }
 
 impl GlobalBmtSubsystem {
@@ -91,6 +94,31 @@ impl GlobalBmtSubsystem {
             // buffer models MAC locality identically across all schemes.
             mac_cache: SetAssocCache::with_geometry(32 * 1024, 8, 64),
             stats: IvStats::default(),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Emits a metadata-cache access event when tracing is on.
+    fn trace_cache(
+        &self,
+        now: Cycle,
+        domain: DomainId,
+        cache: CacheKind,
+        hit: bool,
+        evicted: bool,
+    ) {
+        if self.obs.tracer.enabled() {
+            self.obs.tracer.emit(
+                now,
+                "scheme",
+                Some(domain),
+                None,
+                EventKind::CacheAccess {
+                    cache,
+                    hit,
+                    evicted,
+                },
+            );
         }
     }
 
@@ -131,13 +159,26 @@ impl GlobalBmtSubsystem {
     }
 
     /// Read-side verification walk; returns added critical-path latency.
-    fn verify_read(&mut self, now: Cycle, dram: &mut DramModel, page: PageNum) -> Cycle {
+    fn verify_read(
+        &mut self,
+        now: Cycle,
+        dram: &mut DramModel,
+        page: PageNum,
+        domain: DomainId,
+    ) -> Cycle {
         let mut t = now;
 
         // Counter fetch.
         let ctr_block = self.layout.counter_block(page);
         let ctr = self.ctr_cache.access(ctr_block.index(), false);
         self.stats.counter_cache.record(ctr.hit);
+        self.trace_cache(
+            t,
+            domain,
+            CacheKind::Counter,
+            ctr.hit,
+            ctr.evicted.is_some(),
+        );
         if let Some(e) = ctr.evicted.filter(|e| e.dirty) {
             self.meta_writeback(t, dram, e.key);
         }
@@ -159,6 +200,18 @@ impl GlobalBmtSubsystem {
             let nb = self.layout.node_block(node);
             let out = self.tree_cache.access(nb.index(), false);
             self.stats.tree_cache.record(out.hit);
+            if self.obs.tracer.enabled() {
+                self.obs.tracer.emit(
+                    t,
+                    "scheme",
+                    Some(domain),
+                    None,
+                    EventKind::TreeWalkLevel {
+                        level: node.level.min(u8::MAX as u32) as u8,
+                        hit: out.hit,
+                    },
+                );
+            }
             if let Some(e) = out.evicted.filter(|e| e.dirty) {
                 self.meta_writeback(t, dram, e.key);
             }
@@ -180,13 +233,26 @@ impl GlobalBmtSubsystem {
 
     /// Write-side metadata update; returns added latency (small: updates are
     /// absorbed by the write-back metadata caches).
-    fn update_write(&mut self, now: Cycle, dram: &mut DramModel, page: PageNum) -> Cycle {
+    fn update_write(
+        &mut self,
+        now: Cycle,
+        dram: &mut DramModel,
+        page: PageNum,
+        domain: DomainId,
+    ) -> Cycle {
         let mut t = now;
 
         // Counter increment (read-modify-write in the counter cache).
         let ctr_block = self.layout.counter_block(page);
         let ctr = self.ctr_cache.access(ctr_block.index(), true);
         self.stats.counter_cache.record(ctr.hit);
+        self.trace_cache(
+            t,
+            domain,
+            CacheKind::Counter,
+            ctr.hit,
+            ctr.evicted.is_some(),
+        );
         if let Some(e) = ctr.evicted.filter(|e| e.dirty) {
             self.meta_writeback(t, dram, e.key);
         }
@@ -205,6 +271,18 @@ impl GlobalBmtSubsystem {
             let hit = self.tree_cache.probe(nb.index());
             let out = self.tree_cache.access(nb.index(), true);
             self.stats.tree_cache.record(hit);
+            if self.obs.tracer.enabled() {
+                self.obs.tracer.emit(
+                    t,
+                    "scheme",
+                    Some(domain),
+                    None,
+                    EventKind::TreeWalkLevel {
+                        level: node.level.min(u8::MAX as u32) as u8,
+                        hit,
+                    },
+                );
+            }
             if let Some(e) = out.evicted.filter(|e| e.dirty) {
                 self.meta_writeback(t, dram, e.key);
             }
@@ -225,7 +303,7 @@ impl IntegritySubsystem for GlobalBmtSubsystem {
         now: Cycle,
         dram: &mut DramModel,
         block: BlockAddr,
-        _domain: DomainId,
+        domain: DomainId,
         is_write: bool,
     ) -> Cycle {
         let page = block.page();
@@ -236,6 +314,7 @@ impl IntegritySubsystem for GlobalBmtSubsystem {
         let mac_block = self.layout.mac_block(block);
         let mac = self.mac_cache.access(mac_block.index(), is_write);
         self.stats.mac_cache.record(mac.hit);
+        self.trace_cache(now, domain, CacheKind::Mac, mac.hit, mac.evicted.is_some());
         if let Some(e) = mac.evicted.filter(|e| e.dirty) {
             self.meta_writeback(now, dram, e.key);
         }
@@ -250,14 +329,14 @@ impl IntegritySubsystem for GlobalBmtSubsystem {
         if is_write {
             self.stats.data_writes += 1;
             dram.access(now, block, true);
-            let meta_done = self.update_write(now, dram, page);
+            let meta_done = self.update_write(now, dram, page, domain);
             // Write-backs are buffered; the core is charged only the
             // metadata read-for-update portion.
             meta_done.max(mac_done).min(now + 200)
         } else {
             self.stats.data_reads += 1;
             let data_done = dram.access(now, block, false);
-            let verify_done = self.verify_read(now, dram, page);
+            let verify_done = self.verify_read(now, dram, page, domain);
             // Decryption pad generation (AES) starts once the counter is
             // available and overlaps the tail of the data fetch.
             let pad_done = verify_done + self.cfg.aes_latency;
@@ -290,8 +369,8 @@ impl IntegritySubsystem for GlobalBmtSubsystem {
         &self.stats
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = IvStats::default();
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn name(&self) -> &'static str {
@@ -383,5 +462,44 @@ mod tests {
     fn name_matches_paper() {
         let (s, _) = setup();
         assert_eq!(s.name(), "Baseline");
+    }
+
+    #[test]
+    fn trace_reconciles_with_stats() {
+        use ivl_sim_core::obs::trace::TraceFilter;
+        use ivl_sim_core::obs::Tracer;
+
+        let (mut s, mut dram) = setup();
+        let mut obs = Obs::disabled();
+        obs.tracer = Tracer::bounded(1 << 12, TraceFilter::all());
+        s.attach_obs(obs.clone());
+
+        s.data_access(0, &mut dram, BlockAddr::new(0), d0(), false);
+        s.data_access(100_000, &mut dram, BlockAddr::new(0), d0(), false);
+
+        let records = obs.tracer.sorted_records();
+        let walk_levels = records
+            .iter()
+            .filter(|r| matches!(r.kind, EventKind::TreeWalkLevel { hit: false, .. }))
+            .count() as u64;
+        assert_eq!(
+            walk_levels,
+            s.stats().path_len_sum,
+            "traced missed walk levels match the fetch accounting"
+        );
+        let ctr_lookups = records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.kind,
+                    EventKind::CacheAccess {
+                        cache: CacheKind::Counter,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        assert_eq!(ctr_lookups, s.stats().counter_cache.total());
+        assert!(records.iter().all(|r| r.domain == Some(d0())));
     }
 }

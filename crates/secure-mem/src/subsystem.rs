@@ -16,6 +16,8 @@
 use ivl_dram::DramModel;
 use ivl_sim_core::addr::{BlockAddr, PageNum};
 use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::obs::registry::StatsRegistry;
+use ivl_sim_core::obs::Obs;
 use ivl_sim_core::stats::HitMiss;
 use ivl_sim_core::Cycle;
 
@@ -75,6 +77,74 @@ impl IvStats {
     pub fn total_mem_accesses(&self) -> u64 {
         self.data_reads + self.data_writes + self.meta_reads + self.meta_writes
     }
+
+    /// The statistics accumulated since an `earlier` snapshot (saturating
+    /// fieldwise) — the single epoch mechanism the simulator uses to
+    /// separate warmup from measurement instead of resetting each model.
+    pub fn delta(&self, earlier: &IvStats) -> IvStats {
+        let mut fetches_by_level = [0u64; 8];
+        for (i, slot) in fetches_by_level.iter_mut().enumerate() {
+            *slot = self.fetches_by_level[i].saturating_sub(earlier.fetches_by_level[i]);
+        }
+        IvStats {
+            data_reads: self.data_reads.saturating_sub(earlier.data_reads),
+            data_writes: self.data_writes.saturating_sub(earlier.data_writes),
+            meta_reads: self.meta_reads.saturating_sub(earlier.meta_reads),
+            meta_writes: self.meta_writes.saturating_sub(earlier.meta_writes),
+            verifications: self.verifications.saturating_sub(earlier.verifications),
+            path_len_sum: self.path_len_sum.saturating_sub(earlier.path_len_sum),
+            counter_cache: self.counter_cache.since(earlier.counter_cache),
+            tree_cache: self.tree_cache.since(earlier.tree_cache),
+            mac_cache: self.mac_cache.since(earlier.mac_cache),
+            lmm_cache: self.lmm_cache.since(earlier.lmm_cache),
+            nflb: self.nflb.since(earlier.nflb),
+            nfl_mem_reads: self.nfl_mem_reads.saturating_sub(earlier.nfl_mem_reads),
+            nfl_mem_writes: self.nfl_mem_writes.saturating_sub(earlier.nfl_mem_writes),
+            hot_migrations: self.hot_migrations.saturating_sub(earlier.hot_migrations),
+            hot_demotions: self.hot_demotions.saturating_sub(earlier.hot_demotions),
+            alloc_failures: self.alloc_failures.saturating_sub(earlier.alloc_failures),
+            fetches_by_level,
+        }
+    }
+
+    /// Exports every field under `prefix` dotted paths (counters, cache
+    /// ratios, and the per-level fetch distribution as a `walk_depth`
+    /// histogram). Scheme-specific fields that stayed zero are skipped.
+    pub fn export(&self, prefix: &str, reg: &mut StatsRegistry) {
+        reg.set_counter(&format!("{prefix}.data_reads"), self.data_reads);
+        reg.set_counter(&format!("{prefix}.data_writes"), self.data_writes);
+        reg.set_counter(&format!("{prefix}.meta_reads"), self.meta_reads);
+        reg.set_counter(&format!("{prefix}.meta_writes"), self.meta_writes);
+        reg.set_counter(&format!("{prefix}.verifications"), self.verifications);
+        reg.set_counter(&format!("{prefix}.path_len_sum"), self.path_len_sum);
+        let ratios = [
+            ("counter_cache", self.counter_cache),
+            ("tree_cache", self.tree_cache),
+            ("mac_cache", self.mac_cache),
+            ("lmm_cache", self.lmm_cache),
+            ("nflb", self.nflb),
+        ];
+        for (name, hm) in ratios {
+            if hm.total() > 0 {
+                reg.set_ratio(&format!("{prefix}.{name}"), hm);
+            }
+        }
+        let optional = [
+            ("nfl_mem_reads", self.nfl_mem_reads),
+            ("nfl_mem_writes", self.nfl_mem_writes),
+            ("hot_migrations", self.hot_migrations),
+            ("hot_demotions", self.hot_demotions),
+            ("alloc_failures", self.alloc_failures),
+        ];
+        for (name, v) in optional {
+            if v > 0 {
+                reg.set_counter(&format!("{prefix}.{name}"), v);
+            }
+        }
+        if self.fetches_by_level.iter().any(|&v| v > 0) {
+            reg.set_histogram(&format!("{prefix}.walk_depth"), &self.fetches_by_level);
+        }
+    }
 }
 
 /// An integrity-verification scheme plugged under the memory controller.
@@ -115,11 +185,24 @@ pub trait IntegritySubsystem {
         let _ = domain;
     }
 
-    /// Scheme statistics so far.
+    /// Scheme statistics so far. Values only ever grow; callers that need
+    /// a measurement window take a snapshot and use [`IvStats::delta`]
+    /// (the simulator's warmup epoch works this way — there is no reset).
     fn stats(&self) -> &IvStats;
 
-    /// Clears accumulated statistics (end-of-warmup in the simulator).
-    fn reset_stats(&mut self);
+    /// Attaches an observability handle. Schemes that trace re-clone it
+    /// into their internals; the default ignores it.
+    fn attach_obs(&mut self, obs: Obs) {
+        let _ = obs;
+    }
+
+    /// Exports scheme statistics into `reg` under `prefix`. The default
+    /// exports [`stats`](Self::stats) via [`IvStats::export`]; schemes
+    /// with extra structure (forests, per-domain buffers) override and
+    /// extend.
+    fn export_stats(&self, prefix: &str, reg: &mut StatsRegistry) {
+        self.stats().export(prefix, reg);
+    }
 
     /// Human-readable scheme name (matches the paper's figure legends).
     fn name(&self) -> &'static str;
@@ -184,10 +267,6 @@ impl IntegritySubsystem for NoProtection {
         &self.stats
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = IvStats::default();
-    }
-
     fn name(&self) -> &'static str {
         "NoProtection"
     }
@@ -202,6 +281,48 @@ mod tests {
     fn avg_path_length_handles_zero() {
         let s = IvStats::default();
         assert_eq!(s.avg_path_length(), 0.0);
+    }
+
+    #[test]
+    fn delta_isolates_a_measurement_window() {
+        let mut warm = IvStats {
+            meta_reads: 10,
+            ..IvStats::default()
+        };
+        warm.tree_cache.hit();
+        warm.fetches_by_level[2] = 4;
+        let mut end = warm;
+        end.meta_reads = 25;
+        end.tree_cache.hit();
+        end.tree_cache.miss();
+        end.fetches_by_level[2] = 9;
+        let d = end.delta(&warm);
+        assert_eq!(d.meta_reads, 15);
+        assert_eq!((d.tree_cache.hits(), d.tree_cache.misses()), (1, 1));
+        assert_eq!(d.fetches_by_level[2], 5);
+        // Degenerate ordering saturates to zero.
+        assert_eq!(warm.delta(&end).meta_reads, 0);
+    }
+
+    #[test]
+    fn export_skips_unused_fields_and_reconciles() {
+        let mut s = IvStats {
+            meta_reads: 7,
+            verifications: 3,
+            ..IvStats::default()
+        };
+        s.tree_cache.hit();
+        s.fetches_by_level[1] = 3;
+        let mut reg = StatsRegistry::new();
+        s.export("scheme", &mut reg);
+        assert_eq!(reg.counter("scheme.meta_reads"), Some(7));
+        assert_eq!(reg.ratio("scheme.tree_cache").map(|h| h.hits()), Some(1));
+        assert!(reg.get("scheme.nflb").is_none(), "untouched ratio skipped");
+        assert!(reg.get("scheme.hot_migrations").is_none());
+        match reg.get("scheme.walk_depth") {
+            Some(ivl_sim_core::obs::StatValue::Histogram(bins)) => assert_eq!(bins[1], 3),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

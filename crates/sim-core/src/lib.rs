@@ -8,6 +8,8 @@
 //!   `2^12` domains exactly as IvLeague provisions (Section VI-D1);
 //! * [`config`] — the Table I architecture configuration as plain data;
 //! * [`stats`] — counters, running means and histograms used by the models;
+//! * [`obs`] — the workspace-wide observability layer: dotted-path stats
+//!   registry, cycle-stamped event tracing, host-time self-profiling;
 //! * [`rng`] — a small deterministic PRNG (SplitMix64-seeded xoshiro256**)
 //!   so every experiment in the harness is reproducible bit-for-bit.
 //!
@@ -24,6 +26,7 @@
 pub mod addr;
 pub mod config;
 pub mod domain;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 

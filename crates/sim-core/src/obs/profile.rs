@@ -1,0 +1,222 @@
+//! Host-time self-profiling.
+//!
+//! Perf PRs need to know where *wall time* goes inside a run, separately
+//! from simulated cycles. Components wrap their phases in
+//! [`Profiler::scope`] guards; the aggregated per-phase totals export into
+//! the stats registry under `selfprof.*` at the end of a run.
+//!
+//! Timings are **inclusive**: a `TreeWalk` scope opened inside an
+//! `Integrity` scope counts toward both. The phase set mirrors the
+//! simulator's component structure; crypto has no phase of its own
+//! because the timing model charges it as a fixed latency constant — no
+//! host work happens there worth separating from `Integrity`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// A simulator phase measured by the self-profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Synthetic trace generation (address stream production).
+    TraceGen,
+    /// Core-side cache hierarchy (L2 + LLC lookups).
+    CoreCache,
+    /// The integrity subsystem's `data_access` as a whole.
+    Integrity,
+    /// Integrity-tree walks (inside `Integrity`).
+    TreeWalk,
+    /// NFL buffer and forest maintenance (inside `Integrity`).
+    Nfl,
+    /// DRAM timing model.
+    Dram,
+    /// Secure-page allocation/deallocation.
+    Alloc,
+}
+
+impl Phase {
+    /// All phases, in export order.
+    pub const ALL: [Phase; 7] = [
+        Phase::TraceGen,
+        Phase::CoreCache,
+        Phase::Integrity,
+        Phase::TreeWalk,
+        Phase::Nfl,
+        Phase::Dram,
+        Phase::Alloc,
+    ];
+
+    /// Stable lowercase name used for `selfprof.*` registry paths.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::TraceGen => "trace_gen",
+            Phase::CoreCache => "core_cache",
+            Phase::Integrity => "integrity",
+            Phase::TreeWalk => "tree_walk",
+            Phase::Nfl => "nfl",
+            Phase::Dram => "dram",
+            Phase::Alloc => "alloc",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            Phase::TraceGen => 0,
+            Phase::CoreCache => 1,
+            Phase::Integrity => 2,
+            Phase::TreeWalk => 3,
+            Phase::Nfl => 4,
+            Phase::Dram => 5,
+            Phase::Alloc => 6,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ProfilerInner {
+    elapsed: [Duration; Phase::ALL.len()],
+    entries: [u64; Phase::ALL.len()],
+}
+
+/// Cheap cloneable profiling handle; disabled by default (every scope is a
+/// single `None` check), mirroring [`Tracer`](super::trace::Tracer).
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Option<Rc<RefCell<ProfilerInner>>>,
+}
+
+impl Profiler {
+    /// A no-op profiler.
+    pub fn disabled() -> Self {
+        Profiler { inner: None }
+    }
+
+    /// An active profiler.
+    pub fn enabled() -> Self {
+        Profiler {
+            inner: Some(Rc::new(RefCell::new(ProfilerInner::default()))),
+        }
+    }
+
+    /// Whether scopes are measured.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a scoped timer for `phase`; the elapsed host time is added
+    /// when the guard drops. The guard holds its own (cheap) clone of the
+    /// handle, so holding it does not borrow the profiler's owner.
+    pub fn scope(&self, phase: Phase) -> ScopedTimer {
+        ScopedTimer {
+            profiler: self.clone(),
+            phase,
+            start: if self.inner.is_some() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    fn record(&self, phase: Phase, elapsed: Duration) {
+        if let Some(inner) = &self.inner {
+            let mut p = inner.borrow_mut();
+            let i = phase.index();
+            p.elapsed[i] += elapsed;
+            p.entries[i] = p.entries[i].saturating_add(1);
+        }
+    }
+
+    /// Total host time accumulated in `phase`.
+    pub fn elapsed(&self, phase: Phase) -> Duration {
+        self.inner
+            .as_ref()
+            .map_or(Duration::ZERO, |i| i.borrow().elapsed[phase.index()])
+    }
+
+    /// Number of times `phase` was entered.
+    pub fn entries(&self, phase: Phase) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.borrow().entries[phase.index()])
+    }
+
+    /// Exports `selfprof.<phase>.micros` / `.entries` counters into `reg`
+    /// for every phase that was entered at least once.
+    pub fn export(&self, reg: &mut super::registry::StatsRegistry) {
+        if self.inner.is_none() {
+            return;
+        }
+        for phase in Phase::ALL {
+            let entries = self.entries(phase);
+            if entries == 0 {
+                continue;
+            }
+            let prefix = format!("selfprof.{}", phase.name());
+            reg.set_counter(
+                &format!("{prefix}.micros"),
+                self.elapsed(phase).as_micros().min(u64::MAX as u128) as u64,
+            );
+            reg.set_counter(&format!("{prefix}.entries"), entries);
+        }
+    }
+}
+
+/// RAII guard returned by [`Profiler::scope`].
+#[derive(Debug)]
+pub struct ScopedTimer {
+    profiler: Profiler,
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.profiler.record(self.phase, start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_measures_nothing() {
+        let p = Profiler::disabled();
+        {
+            let _t = p.scope(Phase::Dram);
+        }
+        assert_eq!(p.entries(Phase::Dram), 0);
+        assert_eq!(p.elapsed(Phase::Dram), Duration::ZERO);
+        let mut reg = super::super::registry::StatsRegistry::new();
+        p.export(&mut reg);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn scopes_accumulate_and_export() {
+        let p = Profiler::enabled();
+        {
+            let _outer = p.scope(Phase::Integrity);
+            let _inner = p.scope(Phase::TreeWalk);
+            std::hint::black_box(0u64);
+        }
+        {
+            let _again = p.scope(Phase::Integrity);
+        }
+        assert_eq!(p.entries(Phase::Integrity), 2);
+        assert_eq!(p.entries(Phase::TreeWalk), 1);
+        assert_eq!(p.entries(Phase::Dram), 0);
+
+        let mut reg = super::super::registry::StatsRegistry::new();
+        p.export(&mut reg);
+        assert_eq!(reg.counter("selfprof.integrity.entries"), Some(2));
+        assert!(reg.counter("selfprof.integrity.micros").is_some());
+        assert!(
+            reg.get("selfprof.dram.entries").is_none(),
+            "unentered phases omitted"
+        );
+    }
+}

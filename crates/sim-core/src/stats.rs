@@ -1,8 +1,13 @@
 //! Lightweight statistics primitives used by all models.
 //!
-//! The simulator deliberately avoids global registries: each component owns
-//! its own counters and exposes them through accessor methods, which keeps
-//! the models testable in isolation.
+//! Each component owns its own counters and exposes them through accessor
+//! methods, which keeps the models testable in isolation; the
+//! [`obs`](crate::obs) layer collects them into a dotted-path
+//! [`StatsRegistry`](crate::obs::registry::StatsRegistry) snapshot when a
+//! run wants a unified view.
+//!
+//! All accumulation is **saturating**: pathological long runs clamp at the
+//! numeric ceiling instead of overflow-panicking in debug builds.
 
 use std::fmt;
 
@@ -26,14 +31,14 @@ impl Counter {
         Counter(0)
     }
 
-    /// Increments by one.
+    /// Increments by one (saturating).
     pub fn inc(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Adds `n` events.
+    /// Adds `n` events (saturating).
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Current count.
@@ -44,6 +49,13 @@ impl Counter {
     /// Resets to zero.
     pub fn reset(&mut self) {
         self.0 = 0;
+    }
+
+    /// Events accumulated since an earlier snapshot of this counter
+    /// (saturating: a nonsensical "earlier" snapshot ahead of `self`
+    /// yields zero rather than wrapping).
+    pub const fn since(self, earlier: Counter) -> u64 {
+        self.0.saturating_sub(earlier.0)
     }
 }
 
@@ -77,14 +89,20 @@ impl HitMiss {
         HitMiss { hits: 0, misses: 0 }
     }
 
-    /// Records a hit.
-    pub fn hit(&mut self) {
-        self.hits += 1;
+    /// Reconstructs a tracker from raw hit/miss counts (used when
+    /// deserializing registry snapshots).
+    pub const fn from_parts(hits: u64, misses: u64) -> Self {
+        HitMiss { hits, misses }
     }
 
-    /// Records a miss.
+    /// Records a hit (saturating).
+    pub fn hit(&mut self) {
+        self.hits = self.hits.saturating_add(1);
+    }
+
+    /// Records a miss (saturating).
     pub fn miss(&mut self) {
-        self.misses += 1;
+        self.misses = self.misses.saturating_add(1);
     }
 
     /// Records either, from a boolean outcome.
@@ -108,7 +126,17 @@ impl HitMiss {
 
     /// Total accesses.
     pub const fn total(self) -> u64 {
-        self.hits + self.misses
+        self.hits.saturating_add(self.misses)
+    }
+
+    /// The hits/misses accumulated since an earlier snapshot of this
+    /// tracker (saturating fieldwise — the warmup-epoch delta the
+    /// simulator's measurement window uses).
+    pub const fn since(self, earlier: HitMiss) -> HitMiss {
+        HitMiss {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
     }
 
     /// Hit rate in `[0, 1]`; `0` when no accesses were recorded.
@@ -148,7 +176,7 @@ impl RunningMean {
     /// Adds a sample.
     pub fn push(&mut self, sample: f64) {
         self.sum += sample;
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
     }
 
     /// Number of samples.
@@ -203,10 +231,15 @@ impl Histogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample (bin counts saturate).
     pub fn push(&mut self, sample: u32) {
         let idx = (sample as usize).min(self.bins.len() - 1);
-        self.bins[idx] += 1;
+        self.bins[idx] = self.bins[idx].saturating_add(1);
+    }
+
+    /// The raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
     }
 
     /// Count in bin `i`.
@@ -228,9 +261,9 @@ impl Histogram {
         self.bins.is_empty()
     }
 
-    /// Total number of samples.
+    /// Total number of samples (saturating).
     pub fn total(&self) -> u64 {
-        self.bins.iter().sum()
+        self.bins.iter().fold(0u64, |acc, &c| acc.saturating_add(c))
     }
 
     /// Mean of the recorded samples (using bin index as value).
@@ -305,6 +338,51 @@ mod tests {
         assert_eq!(h.bin(2), 1);
         assert_eq!(h.total(), 3);
         assert!((h.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_and_hitmiss_saturate_instead_of_overflowing() {
+        // Regression: these used to be raw `+=`, which overflow-panics in
+        // debug builds on pathological long runs.
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.inc();
+        c.add(17);
+        assert_eq!(c.get(), u64::MAX);
+        assert_eq!(c.since(Counter::new()), u64::MAX);
+
+        let mut h = HitMiss {
+            hits: u64::MAX,
+            misses: u64::MAX,
+        };
+        h.hit();
+        h.miss();
+        assert_eq!(h.hits(), u64::MAX);
+        assert_eq!(h.misses(), u64::MAX);
+        assert_eq!(h.total(), u64::MAX, "total saturates too");
+    }
+
+    #[test]
+    fn histogram_bins_saturate() {
+        let mut h = Histogram::new(2);
+        h.bins[1] = u64::MAX;
+        h.push(5); // lands in the saturated last bin
+        assert_eq!(h.bin(1), u64::MAX);
+        assert_eq!(h.total(), u64::MAX);
+    }
+
+    #[test]
+    fn since_is_saturating_and_matches_subtraction() {
+        let mut early = HitMiss::new();
+        early.hit();
+        let mut late = early;
+        late.hit();
+        late.miss();
+        let d = late.since(early);
+        assert_eq!((d.hits(), d.misses()), (1, 1));
+        // Nonsense ordering clamps at zero instead of wrapping.
+        let z = early.since(late);
+        assert_eq!((z.hits(), z.misses()), (0, 0));
     }
 
     #[test]

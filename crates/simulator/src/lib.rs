@@ -34,4 +34,7 @@
 
 pub mod system;
 
-pub use system::{run_mix, run_mix_with_config, CoreResult, MixResult, RunConfig, SchemeKind};
+pub use system::{
+    run_mix, run_mix_observed, run_mix_with_config, CoreResult, MixResult, ObservedRun, RunConfig,
+    SchemeKind,
+};

@@ -8,6 +8,11 @@ use ivl_secure_mem::baseline::GlobalBmtSubsystem;
 use ivl_secure_mem::subsystem::{IntegritySubsystem, IvStats, NoProtection};
 use ivl_sim_core::config::{IvVariant, SystemConfig};
 use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::obs::{
+    decorate_path, path_tag, write_stats_json, write_trace_jsonl, CacheKind, EventKind, Obs,
+    ObsConfig, Phase, StatsRegistry, TraceRecord,
+};
+use ivl_sim_core::stats::HitMiss;
 use ivl_sim_core::Cycle;
 use ivl_workloads::mixes::Mix;
 use ivl_workloads::trace::{MemEvent, TraceGenerator};
@@ -107,6 +112,14 @@ pub enum SchemeInstance {
 
 impl SchemeInstance {
     fn as_subsystem(&mut self) -> &mut dyn IntegritySubsystem {
+        match self {
+            SchemeInstance::Baseline(s) => s,
+            SchemeInstance::Iv(s) => s,
+            SchemeInstance::None(s) => s,
+        }
+    }
+
+    fn as_subsystem_ref(&self) -> &dyn IntegritySubsystem {
         match self {
             SchemeInstance::Baseline(s) => s,
             SchemeInstance::Iv(s) => s,
@@ -262,6 +275,21 @@ struct Core {
     inv_ipc: f64,
 }
 
+/// One observed (mix, scheme) run: the classic result plus the measured
+/// stats registry (epoch-delta'd over the measurement window, with
+/// end-of-run gauges) and the cycle-sorted trace events.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// The figure-facing result, identical to what [`run_mix`] returns.
+    pub result: MixResult,
+    /// Registry of every exported statistic; counters/ratios/histograms
+    /// cover the measurement window only, gauges the end-of-run state.
+    pub registry: StatsRegistry,
+    /// Trace records, stably sorted by `(cycle, seq)`; empty unless the
+    /// config enables tracing.
+    pub events: Vec<TraceRecord>,
+}
+
 /// Runs one mix under one scheme.
 pub fn run_mix(mix: &Mix, scheme_kind: SchemeKind, run: &RunConfig) -> MixResult {
     let cfg = SystemConfig::default();
@@ -270,14 +298,85 @@ pub fn run_mix(mix: &Mix, scheme_kind: SchemeKind, run: &RunConfig) -> MixResult
 
 /// Runs one mix under one scheme with an explicit system configuration
 /// (used by the sensitivity studies of Figure 20).
+///
+/// Observability is driven by the environment (`IVL_TRACE`,
+/// `IVL_STATS_JSON`, `IVL_PROFILE`, …): when any sink is requested the run
+/// records through [`run_mix_observed`] and writes the sinks to paths
+/// decorated with a `<mix>.<scheme>` tag, so parallel matrix runs never
+/// clobber each other's files.
 pub fn run_mix_with_config(
     mix: &Mix,
     scheme_kind: SchemeKind,
     run: &RunConfig,
     cfg: &SystemConfig,
 ) -> MixResult {
+    let obs_cfg = ObsConfig::from_env();
+    if !obs_cfg.any_enabled() {
+        return run_mix_observed(mix, scheme_kind, run, cfg, &ObsConfig::off()).result;
+    }
+    let observed = run_mix_observed(mix, scheme_kind, run, cfg, &obs_cfg);
+    let tag = format!("{}.{}", path_tag(mix.name), path_tag(scheme_kind.label()));
+    if let Some(p) = &obs_cfg.trace_path {
+        let path = decorate_path(p, &tag);
+        if let Err(e) = write_trace_jsonl(&observed.events, &path) {
+            eprintln!("warning: could not write trace {}: {e}", path.display());
+        }
+    }
+    if let Some(p) = &obs_cfg.stats_path {
+        let path = decorate_path(p, &tag);
+        if let Err(e) = write_stats_json(&observed.registry, &path) {
+            eprintln!("warning: could not write stats {}: {e}", path.display());
+        }
+    }
+    observed.result
+}
+
+/// Exports everything every model knows into one registry snapshot.
+fn export_run_stats(
+    scheme: &SchemeInstance,
+    dram: &DramModel,
+    llc: &RandomizedCache,
+    cores: &[Core],
+    reg: &mut StatsRegistry,
+) {
+    scheme.as_subsystem_ref().export_stats("scheme", reg);
+    dram.export_stats("dram", reg);
+    let lt = llc.tally();
+    reg.set_ratio("llc.data", HitMiss::from_parts(lt.hits, lt.misses));
+    reg.set_counter("llc.evictions", lt.evictions);
+    reg.set_counter("llc.dirty_evictions", lt.dirty_evictions);
+    for (i, c) in cores.iter().enumerate() {
+        let t = c.l2.tally();
+        reg.set_ratio(
+            &format!("core{i}.l2"),
+            HitMiss::from_parts(t.hits, t.misses),
+        );
+    }
+}
+
+/// Runs one mix under one scheme while recording the observability
+/// artifacts `obs_cfg` asks for. With [`ObsConfig::off`] this is exactly
+/// [`run_mix_with_config`] minus the environment lookup: the tracer and
+/// profiler handles stay disabled and every instrument collapses to one
+/// branch.
+///
+/// Statistics are measured with **epoch deltas**, not resets: at the
+/// warmup→measurement flip the run snapshots the full registry (and the
+/// raw [`IvStats`]), and the reported values are the end-of-run export
+/// minus that snapshot. No model mutates its counters at the flip, so a
+/// later consumer can still read lifetime totals off the models.
+pub fn run_mix_observed(
+    mix: &Mix,
+    scheme_kind: SchemeKind,
+    run: &RunConfig,
+    cfg: &SystemConfig,
+    obs_cfg: &ObsConfig,
+) -> ObservedRun {
+    let obs = Obs::from_config(obs_cfg);
     let mut scheme = scheme_kind.build(cfg);
+    scheme.as_subsystem().attach_obs(obs.clone());
     let mut dram = DramModel::new(&cfg.dram);
+    dram.set_obs(obs.clone());
     let mut llc = RandomizedCache::with_geometry(
         cfg.llc.cache.capacity_bytes,
         cfg.llc.cache.ways,
@@ -336,6 +435,10 @@ pub fn run_mix_with_config(
     let mut llc_miss_reads = 0u64;
     let mut read_latency_sum = 0u64;
     let mut core_accesses = 0u64;
+    // Epoch snapshots taken at the warmup→measurement flip; measured
+    // values are end-of-run exports minus these.
+    let mut epoch_stats = IvStats::default();
+    let mut epoch_reg = StatsRegistry::new();
 
     loop {
         // Least-advanced core executes next (loose global ordering).
@@ -366,7 +469,18 @@ pub fn run_mix_with_config(
             && gens.iter().all(TraceGenerator::warmed_up)
         {
             measuring = true;
-            scheme.as_subsystem().reset_stats();
+            epoch_stats = *scheme.stats();
+            export_run_stats(&scheme, &dram, &llc, &cores, &mut epoch_reg);
+            if obs.tracer.enabled() {
+                let flip = cores.iter().map(|c| c.now).min().unwrap_or(0);
+                obs.tracer.emit(
+                    flip,
+                    "run",
+                    None,
+                    None,
+                    EventKind::Epoch { label: "measure" },
+                );
+            }
             for c in &mut cores {
                 c.measure_start = c.now;
                 c.measure_instrs_start = c.instrs;
@@ -374,7 +488,11 @@ pub fn run_mix_with_config(
         }
 
         let core = &mut cores[idx];
-        match gens[core.gen].next_event() {
+        let event = {
+            let _gen_timing = obs.profiler.scope(Phase::TraceGen);
+            gens[core.gen].next_event()
+        };
+        match event {
             MemEvent::Access {
                 block,
                 is_write,
@@ -391,7 +509,23 @@ pub fn run_mix_with_config(
                 // the first hierarchy level consulted is the private L2.
                 let key = block.index();
                 core.now += cfg.core.l2.hit_latency;
-                let l2 = core.l2.access(key, is_write);
+                let l2 = {
+                    let _cache_timing = obs.profiler.scope(Phase::CoreCache);
+                    core.l2.access(key, is_write)
+                };
+                if obs.tracer.enabled() {
+                    obs.tracer.emit(
+                        core.now,
+                        "cache",
+                        Some(core.domain),
+                        Some(idx as u8),
+                        EventKind::CacheAccess {
+                            cache: CacheKind::L2,
+                            hit: l2.hit,
+                            evicted: l2.evicted.is_some(),
+                        },
+                    );
+                }
                 if l2.hit {
                     continue;
                 }
@@ -400,10 +534,27 @@ pub fn run_mix_with_config(
                     llc_writebacks.push(e.key);
                 }
                 core.now += cfg.llc.cache.hit_latency - cfg.core.l2.hit_latency;
-                let llc_out = llc.access(key, is_write);
+                let llc_out = {
+                    let _cache_timing = obs.profiler.scope(Phase::CoreCache);
+                    llc.access(key, is_write)
+                };
                 let llc_hit = llc_out.hit;
+                if obs.tracer.enabled() {
+                    obs.tracer.emit(
+                        core.now,
+                        "cache",
+                        Some(core.domain),
+                        Some(idx as u8),
+                        EventKind::CacheAccess {
+                            cache: CacheKind::Llc,
+                            hit: llc_hit,
+                            evicted: llc_out.evicted.is_some(),
+                        },
+                    );
+                }
                 if let Some(e) = llc_out.evicted.filter(|e| e.dirty) {
                     // LLC dirty eviction: secure write-back to memory.
+                    let _integrity_timing = obs.profiler.scope(Phase::Integrity);
                     scheme.as_subsystem().data_access(
                         core.now,
                         &mut dram,
@@ -415,6 +566,7 @@ pub fn run_mix_with_config(
                 for wb in llc_writebacks {
                     let out = llc.access(wb, true);
                     if let Some(e) = out.evicted.filter(|e| e.dirty) {
+                        let _integrity_timing = obs.profiler.scope(Phase::Integrity);
                         scheme.as_subsystem().data_access(
                             core.now,
                             &mut dram,
@@ -428,13 +580,16 @@ pub fn run_mix_with_config(
                     continue;
                 }
                 // LLC miss: the secure memory path.
-                let done = scheme.as_subsystem().data_access(
-                    core.now,
-                    &mut dram,
-                    block,
-                    core.domain,
-                    is_write,
-                );
+                let done = {
+                    let _integrity_timing = obs.profiler.scope(Phase::Integrity);
+                    scheme.as_subsystem().data_access(
+                        core.now,
+                        &mut dram,
+                        block,
+                        core.domain,
+                        is_write,
+                    )
+                };
                 let latency = done.saturating_sub(core.now);
                 if measuring && !is_write {
                     llc_miss_reads += 1;
@@ -476,7 +631,9 @@ pub fn run_mix_with_config(
         }
     }
 
-    let stats = *scheme.stats();
+    // Measurement-window statistics: delta against the epoch snapshot
+    // instead of having reset the models at the flip.
+    let stats = scheme.stats().delta(&epoch_stats);
     let (utilization, untracked) = match &scheme {
         SchemeInstance::Iv(iv) => match iv.forest() {
             Some(f) => (
@@ -505,7 +662,18 @@ pub fn run_mix_with_config(
         })
         .collect();
 
-    MixResult {
+    let mut end_reg = StatsRegistry::new();
+    export_run_stats(&scheme, &dram, &llc, &cores, &mut end_reg);
+    let mut registry = end_reg.delta(&epoch_reg);
+    registry.set_counter("run.core_accesses", core_accesses);
+    registry.set_counter("run.llc_miss_reads", llc_miss_reads);
+    registry.set_counter("run.read_latency_sum", read_latency_sum);
+    // Self-profile covers the whole run (warmup included) — exported after
+    // the delta so the epoch subtraction never touches it.
+    obs.profiler.export(&mut registry);
+    let events = obs.tracer.sorted_records();
+
+    let result = MixResult {
         mix: mix.name,
         scheme: scheme_kind,
         avg_path_length: stats.avg_path_length(),
@@ -519,6 +687,11 @@ pub fn run_mix_with_config(
         llc_miss_reads,
         read_latency_sum,
         core_accesses,
+    };
+    ObservedRun {
+        result,
+        registry,
+        events,
     }
 }
 

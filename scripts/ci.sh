@@ -19,6 +19,9 @@
 #                             BENCH_baseline.json by bench_compare; fails on
 #                             a median regression beyond the threshold
 #                             (IVL_BENCH_GATE_THRESHOLD, default 1.0 = 2x)
+#   6. observability smoke  - obs_run writes + self-validates a trace
+#                             (JSONL) and stats registry (JSON) for a quick
+#                             mix and a short attack
 
 set -euo pipefail
 
@@ -93,6 +96,16 @@ step "bench regression gate (vs BENCH_baseline.json)"
 cargo run -q -p ivl-bench --bin bench_compare --locked --offline -- \
     BENCH_baseline.json "$BENCH_JSON" \
     --threshold "${IVL_BENCH_GATE_THRESHOLD:-1.0}"
+
+step "observability smoke (obs_run --quick)"
+# The binary validates its own artifacts (JSONL parses, event families
+# present, monotonic cycles, stats reconcile) and exits nonzero otherwise.
+# Cap the ring so the uploaded JSONL stays a few MB (drop-oldest keeps the
+# most recent window, which is what a forensics reader wants anyway).
+IVL_TRACE="$(pwd)/target/obs_trace.jsonl" \
+    IVL_STATS_JSON="$(pwd)/target/obs_stats.json" \
+    IVL_TRACE_CAP=50000 \
+    cargo run -q -p ivl-bench --bin obs_run --locked --offline -- S-1 IvPro --quick
 
 step "done"
 echo "OK: all CI checks passed ($PROFILE_FILTER)"
