@@ -218,7 +218,7 @@ pub fn run_attack_with_obs(target: TargetScheme, cfg: &AttackConfig, obs: &Obs) 
             AllocatorKind::Nfl,
         ))),
     };
-    scheme.subsystem().attach_obs(obs.clone());
+    scheme.subsystem().attach_obs(obs);
 
     let mut now: Cycle = 0;
 

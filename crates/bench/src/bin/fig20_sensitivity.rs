@@ -3,13 +3,55 @@
 //! normalized to IvLeague-Basic at the default configuration, as in the
 //! paper.
 
-use ivl_bench::{emit, find, run_config, run_matrix_on};
+use ivl_bench::{emit, find, run_config, run_matrix_on, run_points};
 use ivl_sim_core::config::SystemConfig;
 use ivl_sim_core::stats::gmean;
 use ivl_simulator::{run_mix_with_config, SchemeKind};
-use ivl_workloads::mixes::mix_by_name;
+use ivl_workloads::mixes::{mix_by_name, Mix};
 
 const SCHEMES: [SchemeKind; 3] = [SchemeKind::IvBasic, SchemeKind::IvInvert, SchemeKind::IvPro];
+
+/// One grid point of a sensitivity sweep: (config label, scheme, mix).
+struct Point {
+    label: &'static str,
+    cfg: SystemConfig,
+    scheme: SchemeKind,
+    mix: Mix,
+    mix_idx: usize,
+}
+
+/// Runs all grid points in parallel and folds them back into per-(label,
+/// scheme) geometric means over the mixes, preserving sweep order.
+fn sweep_rows(
+    points: &[Point],
+    labels: &[&'static str],
+    run: &ivl_simulator::RunConfig,
+    ref_ipc: &[f64],
+) -> String {
+    let workers = ivl_testkit::par::available_workers();
+    let ipcs = run_points(
+        points,
+        workers,
+        |p| format!("{:<22} {:<14} {}", p.label, p.scheme.label(), p.mix.name),
+        |p| run_mix_with_config(&p.mix, p.scheme, run, &p.cfg).weighted_ipc(),
+    );
+    let mut text = String::new();
+    for label in labels {
+        let mut row = format!("{label:<22}");
+        for scheme in SCHEMES {
+            let vals: Vec<f64> = points
+                .iter()
+                .zip(&ipcs)
+                .filter(|(p, _)| p.label == *label && p.scheme == scheme)
+                .map(|(p, ipc)| ipc / ref_ipc[p.mix_idx])
+                .collect();
+            row.push_str(&format!(" {:>15.3}", gmean(&vals)));
+        }
+        text.push_str(&row);
+        text.push('\n');
+    }
+    text
+}
 
 fn main() {
     let run = run_config();
@@ -36,10 +78,12 @@ fn main() {
         "{:<22} {:>16} {:>16} {:>14}\n",
         "TreeLing", "IvLeague-Basic", "IvLeague-Invert", "IvLeague-Pro"
     ));
+    let size_labels = ["16MiB(\"8MB\")", "128MiB(\"64MB\")", "1GiB(\"512MB\")"];
+    let mut size_points = Vec::new();
     for (levels, label) in [
-        (4usize, "16MiB(\"8MB\")"),
-        (5, "128MiB(\"64MB\")"),
-        (6, "1GiB(\"512MB\")"),
+        (4usize, size_labels[0]),
+        (5, size_labels[1]),
+        (6, size_labels[2]),
     ] {
         let mut cfg = SystemConfig::default();
         cfg.ivleague.treeling_levels = levels;
@@ -48,18 +92,19 @@ fn main() {
             5 => 4096,
             _ => 512,
         };
-        let mut row = format!("{label:<22}");
         for scheme in SCHEMES {
-            let mut vals = Vec::new();
             for (mi, m) in mixes.iter().enumerate() {
-                let r = run_mix_with_config(m, scheme, &run, &cfg);
-                vals.push(r.weighted_ipc() / ref_ipc[mi]);
+                size_points.push(Point {
+                    label,
+                    cfg: cfg.clone(),
+                    scheme,
+                    mix: *m,
+                    mix_idx: mi,
+                });
             }
-            row.push_str(&format!(" {:>15.3}", gmean(&vals)));
         }
-        text.push_str(&row);
-        text.push('\n');
     }
+    text.push_str(&sweep_rows(&size_points, &size_labels, &run, &ref_ipc));
 
     text.push_str(
         "\nFigure 20b: IPC vs integrity-tree metadata cache size (normalized as above)\n",
@@ -68,20 +113,23 @@ fn main() {
         "{:<22} {:>16} {:>16} {:>14}\n",
         "tree cache", "IvLeague-Basic", "IvLeague-Invert", "IvLeague-Pro"
     ));
-    for kib in [64usize, 128, 256, 512, 1024] {
+    let cache_labels = ["64KiB", "128KiB", "256KiB", "512KiB", "1024KiB"];
+    let mut cache_points = Vec::new();
+    for (kib, label) in [64usize, 128, 256, 512, 1024].into_iter().zip(cache_labels) {
         let mut cfg = SystemConfig::default();
         cfg.secure.tree_cache.capacity_bytes = kib * 1024;
-        let mut row = format!("{:<22}", format!("{kib}KiB"));
         for scheme in SCHEMES {
-            let mut vals = Vec::new();
             for (mi, m) in mixes.iter().enumerate() {
-                let r = run_mix_with_config(m, scheme, &run, &cfg);
-                vals.push(r.weighted_ipc() / ref_ipc[mi]);
+                cache_points.push(Point {
+                    label,
+                    cfg: cfg.clone(),
+                    scheme,
+                    mix: *m,
+                    mix_idx: mi,
+                });
             }
-            row.push_str(&format!(" {:>15.3}", gmean(&vals)));
         }
-        text.push_str(&row);
-        text.push('\n');
     }
+    text.push_str(&sweep_rows(&cache_points, &cache_labels, &run, &ref_ipc));
     emit("fig20_sensitivity.txt", &text);
 }

@@ -68,21 +68,53 @@ pub fn run_matrix(schemes: &[SchemeKind], run: &RunConfig) -> Vec<MixResult> {
 /// order shows through on stderr while the returned results stay in job
 /// order (the parallel runner's collector is order-preserving).
 pub fn run_matrix_on(mixes: &[Mix], schemes: &[SchemeKind], run: &RunConfig) -> Vec<MixResult> {
+    run_matrix_on_with_workers(mixes, schemes, run, ivl_testkit::par::available_workers())
+}
+
+/// [`run_matrix_on`] with an explicit worker count. `workers = 1` runs the
+/// jobs serially on one pool thread in job order — the determinism tests
+/// pin serial vs. work-stealing runs against each other this way.
+pub fn run_matrix_on_with_workers(
+    mixes: &[Mix],
+    schemes: &[SchemeKind],
+    run: &RunConfig,
+    workers: usize,
+) -> Vec<MixResult> {
     let jobs: Vec<(&Mix, SchemeKind)> = mixes
         .iter()
         .flat_map(|m| schemes.iter().map(move |s| (m, *s)))
         .collect();
-    let workers = ivl_testkit::par::available_workers();
-    let total = jobs.len();
+    run_points(
+        &jobs,
+        workers,
+        |(mix, scheme)| format!("{:<5} {:<14}", mix.name, scheme.label()),
+        |(mix, scheme)| run_mix(mix, *scheme, run),
+    )
+}
+
+/// Generic parallel point sweep: runs `f` over `points` on the testkit's
+/// work-stealing runner, printing a `[n/total] <label> <elapsed>` progress
+/// line to stderr as each point completes. Results preserve input order.
+///
+/// The sweep binaries (figure matrices, sensitivity grids) funnel their
+/// per-point simulation work through here so every campaign parallelizes
+/// the same way.
+pub fn run_points<P, T, L, F>(points: &[P], workers: usize, label: L, f: F) -> Vec<T>
+where
+    P: Sync,
+    T: Send,
+    L: Fn(&P) -> String + Sync,
+    F: Fn(&P) -> T + Sync,
+{
+    let total = points.len();
     let done = AtomicUsize::new(0);
     let started = Instant::now();
-    ivl_testkit::par::map_parallel(&jobs, workers, |(mix, scheme)| {
-        let r = run_mix(mix, *scheme, run);
+    ivl_testkit::par::map_parallel(points, workers, |p| {
+        let r = f(p);
         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
         eprintln!(
-            "[{n:>3}/{total}] {:<5} {:<14} {:>6.1}s",
-            mix.name,
-            scheme.label(),
+            "[{n:>3}/{total}] {} {:>6.1}s",
+            label(p),
             started.elapsed().as_secs_f64()
         );
         r

@@ -10,11 +10,10 @@
 //! (no slot double-mapped, no node shared across domains, NFL head
 //! invariant) without timing noise.
 
-use std::collections::HashMap;
-
 use ivl_sim_core::addr::PageNum;
 use ivl_sim_core::config::{IvLeagueConfig, IvVariant};
 use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::fxhash::FxHashMap;
 
 use crate::domains::{DomainController, StarvationError};
 use crate::geometry::{LeafSlot, TlNode, TreeLingGeometry, TreeLingId};
@@ -221,12 +220,23 @@ impl ForestStats {
 pub struct Forest {
     cfg: ForestConfig,
     controller: DomainController,
-    treelings: HashMap<TreeLingId, TreeLingState>,
+    // Fast deterministic hashing: these maps sit on the per-access and
+    // per-alloc hot paths (`slot_of` runs on every LLC miss) and their keys
+    // are simulator-internal, so SipHash's DoS keying buys nothing. No
+    // timing-visible ordering depends on map iteration, so the hasher swap
+    // cannot perturb simulation results.
+    treelings: FxHashMap<TreeLingId, TreeLingState>,
     /// Authoritative page → slot map (the LMM contents).
-    page_map: HashMap<PageNum, LeafSlot>,
-    page_owner: HashMap<PageNum, DomainId>,
-    mapped_per_domain: HashMap<DomainId, u64>,
+    page_map: FxHashMap<PageNum, LeafSlot>,
+    page_owner: FxHashMap<PageNum, DomainId>,
+    mapped_per_domain: FxHashMap<DomainId, u64>,
     stats: ForestStats,
+    /// Recycled NFL-op buffers: outcome `Vec`s handed back through
+    /// [`recycle_ops`](Forest::recycle_ops) are reused by later operations,
+    /// so the steady-state map/unmap/migrate path stops allocating.
+    spare_ops: Vec<Vec<TaggedNflOp>>,
+    /// Reusable owned-TreeLing scratch for the allocation loops.
+    tid_scratch: Vec<TreeLingId>,
 }
 
 impl Forest {
@@ -235,14 +245,32 @@ impl Forest {
         Forest {
             controller: DomainController::new(cfg.treeling_count),
             cfg,
-            treelings: HashMap::new(),
-            page_map: HashMap::new(),
-            page_owner: HashMap::new(),
-            mapped_per_domain: HashMap::new(),
+            treelings: FxHashMap::default(),
+            page_map: FxHashMap::default(),
+            page_owner: FxHashMap::default(),
+            mapped_per_domain: FxHashMap::default(),
             stats: ForestStats {
                 util_min: 1.0,
                 ..ForestStats::default()
             },
+            spare_ops: Vec::new(),
+            tid_scratch: Vec::new(),
+        }
+    }
+
+    /// Takes a recycled (empty) NFL-op buffer, or a fresh one.
+    fn take_ops(&mut self) -> Vec<TaggedNflOp> {
+        self.spare_ops.pop().unwrap_or_default()
+    }
+
+    /// Returns an outcome's `nfl_ops` buffer to the recycle pool. Callers
+    /// that consume a [`MapOutcome`]/[`UnmapOutcome`]/[`MigrateOutcome`]
+    /// may hand the vector back so the next operation reuses its capacity;
+    /// dropping it instead is always correct, just slower.
+    pub fn recycle_ops(&mut self, mut ops: Vec<TaggedNflOp>) {
+        if self.spare_ops.len() < 8 && ops.capacity() > 0 {
+            ops.clear();
+            self.spare_ops.push(ops);
         }
     }
 
@@ -570,8 +598,11 @@ impl Forest {
     /// TreeLings, skipping stale availability (slots consumed structurally
     /// by conversions).
     fn alloc_top(&mut self, domain: DomainId, ops: &mut Vec<TaggedNflOp>) -> Option<LeafSlot> {
-        let owned: Vec<TreeLingId> = self.controller.treelings_of(domain).to_vec();
-        for &tid in owned.iter().rev() {
+        let mut owned = std::mem::take(&mut self.tid_scratch);
+        owned.clear();
+        owned.extend_from_slice(self.controller.treelings_of(domain));
+        let mut found = None;
+        'outer: for &tid in owned.iter().rev() {
             while let Some(alloc) = self.treelings.get_mut(&tid).and_then(|t| t.nfl.alloc()) {
                 for op in &alloc.ops {
                     ops.push(TaggedNflOp {
@@ -587,19 +618,24 @@ impl Forest {
                     slot: alloc.slot,
                 };
                 if self.slot_state(slot) == SlotContent::Free {
-                    return Some(slot);
+                    found = Some(slot);
+                    break 'outer;
                 }
                 // Stale availability (converted to Parent meanwhile): retry.
             }
         }
-        None
+        self.tid_scratch = owned;
+        found
     }
 
     /// Allocates from the depth-extension NFLs (level-1 leaves), Invert/Pro
     /// under TreeLing scarcity.
     fn alloc_depth(&mut self, domain: DomainId, ops: &mut Vec<TaggedNflOp>) -> Option<LeafSlot> {
-        let owned: Vec<TreeLingId> = self.controller.treelings_of(domain).to_vec();
-        for &tid in owned.iter().rev() {
+        let mut owned = std::mem::take(&mut self.tid_scratch);
+        owned.clear();
+        owned.extend_from_slice(self.controller.treelings_of(domain));
+        let mut found = None;
+        'outer: for &tid in owned.iter().rev() {
             while let Some(alloc) = self
                 .treelings
                 .get_mut(&tid)
@@ -620,11 +656,13 @@ impl Forest {
                     slot: alloc.slot,
                 };
                 if self.slot_state(slot) == SlotContent::Free {
-                    return Some(slot);
+                    found = Some(slot);
+                    break 'outer;
                 }
             }
         }
-        None
+        self.tid_scratch = owned;
+        found
     }
 
     /// The variant's allocation policy: Basic uses its (leaf) top NFL and
@@ -709,7 +747,7 @@ impl Forest {
             !self.page_map.contains_key(&page),
             "page {page} double-mapped"
         );
-        let mut ops = Vec::new();
+        let mut ops = self.take_ops();
         let mut new_treeling = false;
 
         let mut slot = self.alloc_regular(domain, &mut ops);
@@ -726,6 +764,7 @@ impl Forest {
                     // No TreeLing left: limited expansion into the leaves.
                     slot = self.alloc_regular_scarce(domain, &mut ops);
                     if slot.is_none() {
+                        self.recycle_ops(ops);
                         return Err(e);
                     }
                 }
@@ -791,7 +830,7 @@ impl Forest {
         self.set_slot_state(slot, SlotContent::Free);
         self.bump_mapped(slot.treeling, -1);
 
-        let mut ops = Vec::new();
+        let mut ops = self.take_ops();
         let untracked = if self.in_hot_region(slot.node) {
             self.free_hot_slot(slot, &mut ops)
         } else {
@@ -818,14 +857,19 @@ impl Forest {
         ops: &mut Vec<TaggedNflOp>,
     ) -> bool {
         let key = self.node_key(slot.treeling, slot.node);
-        let owned: Vec<TreeLingId> = self.controller.treelings_of(domain).to_vec();
         let depth_slot = slot.node.level == 1 && self.cfg.variant != IvVariant::Basic;
         // Frontier slots freed on high-frontier TreeLings route to their
         // own primary NFLs via the cross-TreeLing tag machinery below.
         // Current TreeLing first, then exactly one step back (the paper's
-        // cross-TreeLing maintenance).
-        let candidates: Vec<TreeLingId> = owned.iter().rev().take(2).copied().collect();
-        for tid in candidates {
+        // cross-TreeLing maintenance). At most two candidates, so a fixed
+        // array replaces the old per-free Vec pair.
+        let owned = self.controller.treelings_of(domain);
+        let n = owned.len();
+        let candidates = [
+            n.checked_sub(1).map(|i| owned[i]),
+            n.checked_sub(2).map(|i| owned[i]),
+        ];
+        for tid in candidates.into_iter().flatten() {
             let state = self.treelings.get_mut(&tid).expect("owned treeling active");
             let (nfl, region) = if depth_slot {
                 match state.nfl_depth.as_mut() {
@@ -897,8 +941,10 @@ impl Forest {
         if self.page_owner.get(&page) != Some(&domain) || self.in_hot_region(from.node) {
             return None;
         }
-        let mut ops = Vec::new();
-        let owned: Vec<TreeLingId> = self.controller.treelings_of(domain).to_vec();
+        let mut ops = self.take_ops();
+        let mut owned = std::mem::take(&mut self.tid_scratch);
+        owned.clear();
+        owned.extend_from_slice(self.controller.treelings_of(domain));
         let mut to = None;
         'outer: for &tid in owned.iter().rev() {
             while let Some(alloc) = self
@@ -926,7 +972,11 @@ impl Forest {
                 }
             }
         }
-        let to = to?;
+        self.tid_scratch = owned;
+        let Some(to) = to else {
+            self.recycle_ops(ops);
+            return None;
+        };
         let displaced = self.ensure_parent_chain(to);
         debug_assert!(
             displaced.is_empty(),
@@ -956,8 +1006,11 @@ impl Forest {
         if self.page_owner.get(&page) != Some(&domain) || !self.in_hot_region(from.node) {
             return None;
         }
-        let mut ops = Vec::new();
-        let to = self.alloc_regular(domain, &mut ops)?;
+        let mut ops = self.take_ops();
+        let Some(to) = self.alloc_regular(domain, &mut ops) else {
+            self.recycle_ops(ops);
+            return None;
+        };
         let displaced = if self.cfg.variant != IvVariant::Basic {
             self.ensure_parent_chain(to)
         } else {
@@ -1013,7 +1066,7 @@ impl Forest {
     /// verification paths of pages owned by different domains. This is the
     /// security property §VIII rests on; tests call it after stress runs.
     pub fn verify_isolation(&self) -> bool {
-        let mut node_owner: HashMap<(TreeLingId, TlNode), DomainId> = HashMap::new();
+        let mut node_owner: FxHashMap<(TreeLingId, TlNode), DomainId> = FxHashMap::default();
         for (page, _) in self.page_map.iter() {
             let domain = self.page_owner[page];
             if let Some(path) = self.verification_path(*page) {

@@ -16,8 +16,6 @@
 //! * Pro's tracker promotes hotpages; migrations cost a hash copy plus an
 //!   LMM update off the critical path.
 
-use std::collections::HashMap;
-
 use ivl_cache::cam::CamBuffer;
 use ivl_cache::set_assoc::SetAssocCache;
 use ivl_cache::CacheModel;
@@ -25,7 +23,7 @@ use ivl_dram::DramModel;
 use ivl_secure_mem::layout::MetadataLayout;
 use ivl_secure_mem::subsystem::{IntegritySubsystem, IvStats};
 use ivl_sim_core::addr::{BlockAddr, PageNum};
-use ivl_sim_core::config::{IvVariant, SystemConfig};
+use ivl_sim_core::config::{IvLeagueConfig, IvVariant, SecureMemConfig, SystemConfig};
 use ivl_sim_core::domain::DomainId;
 use ivl_sim_core::obs::registry::StatsRegistry;
 use ivl_sim_core::obs::trace::{CacheKind, EventKind};
@@ -55,6 +53,45 @@ enum Mapper {
     Bv(BvAllocator),
 }
 
+/// Precomputed terminal latencies for the verification walk, keyed by
+/// (tree level, metadata-cache hit class). The walk's variable cost is the
+/// stateful DRAM/cache traffic; what *is* constant — the on-chip tail of
+/// cache-hit latency plus hash check, or hash check alone after a memory
+/// fetch — is folded into this table once at construction instead of being
+/// re-summed from config fields on every access. The domain dimension
+/// collapses because every domain shares one TreeLing geometry and the
+/// locked upper structure; with today's uniform per-level costs the rows
+/// are identical, but the walk reads through the (level, hit) key so
+/// variant-specific level costs slot in without touching the loop.
+#[derive(Debug, Clone)]
+struct WalkLatencyTable {
+    /// `terminal[level][hit as usize]`: cycles to finish verification once
+    /// the walk terminates at `level` (hit = ended on-chip).
+    terminal: Vec<[Cycle; 2]>,
+}
+
+impl WalkLatencyTable {
+    fn new(levels: usize, secure: &SecureMemConfig) -> Self {
+        let mem_tail = secure.hash_latency;
+        let chip_tail = secure.tree_cache.hit_latency + secure.hash_latency;
+        WalkLatencyTable {
+            // +2: level 0 (unused) and the virtual above-root terminal.
+            terminal: vec![[mem_tail, chip_tail]; levels + 2],
+        }
+    }
+
+    #[inline]
+    fn terminal(&self, level: u32, on_chip: bool) -> Cycle {
+        self.terminal[(level as usize).min(self.terminal.len() - 1)][on_chip as usize]
+    }
+
+    /// The above-root terminal (locked upper structure, always on-chip).
+    #[inline]
+    fn root(&self) -> Cycle {
+        self.terminal[self.terminal.len() - 1][1]
+    }
+}
+
 /// The IvLeague integrity subsystem.
 ///
 /// # Examples
@@ -79,7 +116,13 @@ pub struct IvLeagueSubsystem {
     variant: IvVariant,
     allocator: AllocatorKind,
     lock_upper: bool,
-    cfg: SystemConfig,
+    /// The two config slices the hot path reads (both `Copy`); the scheme
+    /// never needs the rest of `SystemConfig` after construction, so it no
+    /// longer clones the full struct.
+    ivcfg: IvLeagueConfig,
+    secure: SecureMemConfig,
+    /// Memoized constant walk-terminal latencies.
+    lat: WalkLatencyTable,
     mapper: Mapper,
     /// Static counter/MAC layout (counters stay statically addressed).
     data_layout: MetadataLayout,
@@ -88,10 +131,12 @@ pub struct IvLeagueSubsystem {
     tree_cache: SetAssocCache,
     mac_cache: SetAssocCache,
     lmm_cache: LmmCache,
-    /// Per-domain on-chip NFL buffers; payload = dirty flag.
-    nflb: HashMap<DomainId, CamBuffer<bool>>,
-    /// Per-domain hotpage trackers (Pro).
-    trackers: HashMap<DomainId, HotpageTracker>,
+    /// Per-domain on-chip NFL buffers indexed densely by
+    /// [`DomainId::index`]; payload = dirty flag. `None` = domain has no
+    /// buffer yet (or was destroyed — reused IDs start fresh).
+    nflb: Vec<Option<CamBuffer<bool>>>,
+    /// Per-domain hotpage trackers (Pro), same dense indexing.
+    trackers: Vec<Option<HotpageTracker>>,
     /// First block of the in-memory NFL region.
     nfl_base: u64,
     /// NFL blocks reserved per TreeLing (regular + hot).
@@ -104,6 +149,10 @@ pub struct IvLeagueSubsystem {
     pt_base: u64,
     stats: IvStats,
     obs: Obs,
+    /// Cached `obs.tracer.enabled()` / `obs.profiler.is_enabled()` so the
+    /// per-access path branches on a bool instead of chasing the handles.
+    trace_on: bool,
+    prof_on: bool,
 }
 
 impl IvLeagueSubsystem {
@@ -182,7 +231,9 @@ impl IvLeagueSubsystem {
             variant,
             allocator,
             lock_upper,
-            cfg: cfg.clone(),
+            ivcfg: cfg.ivleague,
+            secure: cfg.secure,
+            lat: WalkLatencyTable::new(cfg.ivleague.treeling_levels, &cfg.secure),
             mapper,
             data_layout,
             tl_layout,
@@ -194,8 +245,8 @@ impl IvLeagueSubsystem {
             tree_cache,
             mac_cache: SetAssocCache::with_geometry(32 * 1024, 8, 64),
             lmm_cache: LmmCache::new(cfg.ivleague.lmm_cache_entries, cfg.ivleague.lmm_cache_ways),
-            nflb: HashMap::new(),
-            trackers: HashMap::new(),
+            nflb: Vec::new(),
+            trackers: Vec::new(),
             nfl_base,
             nfl_stride,
             nfl_depth_offset: top_blocks,
@@ -203,6 +254,8 @@ impl IvLeagueSubsystem {
             pt_base,
             stats: IvStats::default(),
             obs: Obs::disabled(),
+            trace_on: false,
+            prof_on: false,
         }
     }
 
@@ -215,7 +268,7 @@ impl IvLeagueSubsystem {
         hit: bool,
         evicted: bool,
     ) {
-        if self.obs.tracer.enabled() {
+        if self.trace_on {
             self.obs.tracer.emit(
                 now,
                 "scheme",
@@ -228,6 +281,19 @@ impl IvLeagueSubsystem {
                 },
             );
         }
+    }
+
+    /// Ensures the dense table slot for `domain` exists, growing the table
+    /// as higher domain IDs appear.
+    fn ensure_nflb(&mut self, domain: DomainId) -> usize {
+        let di = domain.index();
+        if di >= self.nflb.len() {
+            self.nflb.resize_with(di + 1, || None);
+        }
+        if self.nflb[di].is_none() {
+            self.nflb[di] = Some(CamBuffer::new(self.ivcfg.nflb_entries_per_domain));
+        }
+        di
     }
 
     /// The functional forest (NFL allocator runs only).
@@ -316,20 +382,20 @@ impl IvLeagueSubsystem {
         domain: DomainId,
         ops: &[TaggedNflOp],
     ) -> Cycle {
-        let entries = self.cfg.ivleague.nflb_entries_per_domain;
-        let _nfl_timing = self.obs.profiler.scope(Phase::Nfl);
+        let _nfl_timing = self.prof_on.then(|| self.obs.profiler.scope(Phase::Nfl));
+        if ops.is_empty() {
+            return now;
+        }
+        let di = self.ensure_nflb(domain);
         let mut t = now;
         for op in ops {
             let addr = self.nfl_block_addr(op);
-            let buf = self
-                .nflb
-                .entry(domain)
-                .or_insert_with(|| CamBuffer::new(entries));
+            let buf = self.nflb[di].as_mut().expect("slot ensured above");
             match buf.get(addr.index()) {
                 Some(dirty) => {
                     self.stats.nflb.hit();
                     *dirty |= op.op.write;
-                    if self.obs.tracer.enabled() {
+                    if self.trace_on {
                         self.obs.tracer.emit(
                             t,
                             "scheme",
@@ -344,7 +410,7 @@ impl IvLeagueSubsystem {
                     t = dram.access(t, addr, false);
                     self.stats.nfl_mem_reads += 1;
                     self.stats.meta_reads += 1;
-                    if self.obs.tracer.enabled() {
+                    if self.trace_on {
                         self.obs.tracer.emit(
                             t,
                             "scheme",
@@ -353,12 +419,9 @@ impl IvLeagueSubsystem {
                             EventKind::NflbAccess { hit: false },
                         );
                     }
-                    let buf = self
-                        .nflb
-                        .entry(domain)
-                        .or_insert_with(|| CamBuffer::new(entries));
+                    let buf = self.nflb[di].as_mut().expect("slot ensured above");
                     if let Some((victim, dirty)) = buf.insert(addr.index(), op.op.write) {
-                        if self.obs.tracer.enabled() {
+                        if self.trace_on {
                             self.obs.tracer.emit(
                                 t,
                                 "scheme",
@@ -379,26 +442,26 @@ impl IvLeagueSubsystem {
         t
     }
 
-    /// LMM lookup: returns (completion time, slot). Charges a page-table
-    /// read on an LMM-cache miss.
+    /// LMM lookup: returns the completion time. Charges a page-table read
+    /// on an LMM-cache miss. The caller already holds the page's slot (one
+    /// mapper probe per access, not one per lookup).
     fn lmm_lookup(
         &mut self,
         now: Cycle,
         dram: &mut DramModel,
         page: PageNum,
         domain: DomainId,
-    ) -> (Cycle, Option<LeafSlot>) {
+    ) -> Cycle {
         let hit = self.lmm_cache.access(page);
         self.stats.lmm_cache.record(hit);
         self.trace_cache(now, domain, CacheKind::Lmm, hit, false);
-        let t = if hit {
-            now + self.cfg.ivleague.lmm_hit_latency
+        if hit {
+            now + self.ivcfg.lmm_hit_latency
         } else {
             let done = dram.access(now, pte_block(self.pt_base, page), false);
             self.stats.meta_reads += 1;
             done
-        };
-        (t, self.slot_of(page))
+        }
     }
 
     /// Verification walk from the mapped slot to the TreeLing root; stops
@@ -412,16 +475,24 @@ impl IvLeagueSubsystem {
         is_write: bool,
     ) -> Cycle {
         let g = self.tl_layout.geometry();
-        let _walk_timing = self.obs.profiler.scope(Phase::TreeWalk);
+        let _walk_timing = self
+            .prof_on
+            .then(|| self.obs.profiler.scope(Phase::TreeWalk));
         let mut t = now;
         let mut path_len = 0u64;
+        // Constant tail once the walk terminates: read from the memo table
+        // instead of re-summing config latencies per access.
+        let mut tail = self.lat.root();
         let mut node = Some(slot.node);
         while let Some(n) = node {
             let nb = self.tl_layout.node_block(slot.treeling, n);
-            let hit = self.tree_cache.probe(nb.index());
+            // `access` reports the pre-access hit state (locked lines count
+            // as hits via `bypassed`), so the old separate `probe` was a
+            // second full set scan for the same answer.
             let out = self.tree_cache.access(nb.index(), is_write);
+            let hit = out.hit;
             self.stats.tree_cache.record(hit);
-            if self.obs.tracer.enabled() {
+            if self.trace_on {
                 self.obs.tracer.emit(
                     t,
                     "scheme",
@@ -437,7 +508,7 @@ impl IvLeagueSubsystem {
                 self.meta_writeback(t, dram, e.key);
             }
             if hit || out.bypassed {
-                t += self.cfg.secure.tree_cache.hit_latency;
+                tail = self.lat.terminal(n.level, true);
                 break;
             }
             t = dram.access(t, nb, false);
@@ -449,47 +520,55 @@ impl IvLeagueSubsystem {
             node = g.parent(n);
         }
         // Fell past the root: the root's hash lives in the upper structure.
-        if node.is_none() {
-            if self.lock_upper {
-                // Locked on-chip: one cache-hit latency, by construction.
-                t += self.cfg.secure.tree_cache.hit_latency;
+        // With locking it is on-chip by construction (`lat.root()`, set
+        // above); the ablation re-opens the shared evictable block.
+        if node.is_none() && !self.lock_upper {
+            let upper = self.tl_layout.upper_structure_blocks()[(slot.treeling.0 as usize
+                / g.arity as usize)
+                .min(self.tl_layout.upper_structure_blocks().len() - 1)];
+            let out = self.tree_cache.access(upper.index(), is_write);
+            let hit = out.hit;
+            self.stats.tree_cache.record(hit);
+            if let Some(e) = out.evicted.filter(|e| e.dirty) {
+                self.meta_writeback(t, dram, e.key);
+            }
+            if hit {
+                tail = self.lat.terminal(0, true);
             } else {
-                // Ablation: the upper block is ordinary evictable metadata
-                // (and shared across domains — the side channel returns).
-                let upper = self.tl_layout.upper_structure_blocks()[(slot.treeling.0 as usize
-                    / g.arity as usize)
-                    .min(self.tl_layout.upper_structure_blocks().len() - 1)];
-                let hit = self.tree_cache.probe(upper.index());
-                let out = self.tree_cache.access(upper.index(), is_write);
-                self.stats.tree_cache.record(hit);
-                if let Some(e) = out.evicted.filter(|e| e.dirty) {
-                    self.meta_writeback(t, dram, e.key);
+                t = dram.access(t, upper, false);
+                self.stats.meta_reads += 1;
+                if !is_write {
+                    path_len += 1;
                 }
-                if hit {
-                    t += self.cfg.secure.tree_cache.hit_latency;
-                } else {
-                    t = dram.access(t, upper, false);
-                    self.stats.meta_reads += 1;
-                    if !is_write {
-                        path_len += 1;
-                    }
-                }
+                tail = self.lat.terminal(0, false);
             }
         }
         if !is_write {
             self.stats.path_len_sum += path_len;
         }
-        t + self.cfg.secure.hash_latency
+        t + tail
     }
 
     /// Handles Pro hotpage tracking on a data access; migrations happen off
-    /// the critical path but their memory traffic is charged.
-    fn track_hotpage(&mut self, now: Cycle, dram: &mut DramModel, page: PageNum, domain: DomainId) {
+    /// the critical path but their memory traffic is charged. Returns
+    /// whether the **accessed page itself** migrated (its slot moved, so a
+    /// caller holding it must re-fetch).
+    fn track_hotpage(
+        &mut self,
+        now: Cycle,
+        dram: &mut DramModel,
+        page: PageNum,
+        domain: DomainId,
+    ) -> bool {
         if self.variant != IvVariant::Pro {
-            return;
+            return false;
         }
-        let ivcfg = &self.cfg.ivleague;
-        let tracker = self.trackers.entry(domain).or_insert_with(|| {
+        let di = domain.index();
+        if di >= self.trackers.len() {
+            self.trackers.resize_with(di + 1, || None);
+        }
+        let ivcfg = self.ivcfg;
+        let tracker = self.trackers[di].get_or_insert_with(|| {
             HotpageTracker::new(
                 ivcfg.tracker_entries,
                 ivcfg.tracker_counter_bits,
@@ -498,6 +577,7 @@ impl IvLeagueSubsystem {
             )
         });
         let events = tracker.record(page);
+        let mut accessed_page_moved = false;
         for event in events {
             let outcome = match (&mut self.mapper, event) {
                 (Mapper::Nfl(f), HotEvent::Promote(p)) => f.promote_page(domain, p),
@@ -519,12 +599,19 @@ impl IvLeagueSubsystem {
                 let migrated = match event {
                     HotEvent::Promote(p) | HotEvent::Demote(p) => p,
                 };
+                if migrated == page {
+                    accessed_page_moved = true;
+                }
                 self.lmm_cache.invalidate(migrated);
                 dram.access(now, pte_block(self.pt_base, migrated), true);
                 self.stats.meta_writes += 1;
                 self.charge_nfl_ops(now, dram, domain, &m.nfl_ops);
+                if let Mapper::Nfl(f) = &mut self.mapper {
+                    f.recycle_ops(m.nfl_ops);
+                }
             }
         }
+        accessed_page_moved
     }
 }
 
@@ -539,12 +626,18 @@ impl IntegritySubsystem for IvLeagueSubsystem {
     ) -> Cycle {
         let page = block.page();
         // Defensive: first touch without an explicit alloc maps the page.
-        if self.slot_of(page).is_none() {
+        // One mapper probe serves the whole access; the slot is re-fetched
+        // only when the tracker actually migrated this page.
+        let mut slot = self.slot_of(page);
+        if slot.is_none() {
             self.page_alloc(now, dram, page, domain);
+            slot = self.slot_of(page);
         }
         // The hotpage tracker observes every access reaching the memory
         // controller (Figure 14a).
-        self.track_hotpage(now, dram, page, domain);
+        if self.track_hotpage(now, dram, page, domain) {
+            slot = self.slot_of(page);
+        }
 
         // MAC leg (parallel).
         let mac_block = self.data_layout.mac_block(block);
@@ -555,7 +648,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
             self.meta_writeback(now, dram, e.key);
         }
         let mac_done = if mac.hit {
-            now + self.cfg.secure.counter_cache.hit_latency
+            now + self.secure.counter_cache.hit_latency
         } else {
             let t = dram.access(now, mac_block, false);
             self.stats.meta_reads += 1;
@@ -586,8 +679,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
                 self.stats.meta_reads += 1;
             }
             // Tree update: LMM lookup then update walk up to a cached node.
-            let (t_lmm, slot) = self.lmm_lookup(t, dram, page, domain);
-            t = t_lmm;
+            t = self.lmm_lookup(t, dram, page, domain);
             if let Some(slot) = slot {
                 t = self.walk(t, dram, slot, domain, true);
             }
@@ -596,7 +688,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
             self.stats.data_reads += 1;
             let data_done = dram.access(now, block, false);
             let verify_done = if ctr.hit {
-                now + self.cfg.secure.counter_cache.hit_latency
+                now + self.secure.counter_cache.hit_latency
             } else {
                 let ctr_done = dram.access(now, ctr_block, false);
                 self.stats.meta_reads += 1;
@@ -605,14 +697,14 @@ impl IntegritySubsystem for IvLeagueSubsystem {
                 // a miss adds the memory indirection the paper charges
                 // IvLeague-Basic for (one page-table read before the walk
                 // can start).
-                let (lmm_done, slot) = self.lmm_lookup(now, dram, page, domain);
+                let lmm_done = self.lmm_lookup(now, dram, page, domain);
                 let mut t = ctr_done.max(lmm_done);
                 if let Some(slot) = slot {
                     t = self.walk(t, dram, slot, domain, false);
                 }
                 t
             };
-            let pad_done = verify_done + self.cfg.secure.aes_latency;
+            let pad_done = verify_done + self.secure.aes_latency;
             data_done.max(pad_done).max(mac_done)
         }
     }
@@ -627,7 +719,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         if self.slot_of(page).is_some() {
             return now;
         }
-        let _alloc_timing = self.obs.profiler.scope(Phase::Alloc);
+        let _alloc_timing = self.prof_on.then(|| self.obs.profiler.scope(Phase::Alloc));
         let done = match &mut self.mapper {
             Mapper::Nfl(f) => match f.map_page(domain, page) {
                 Ok(out) => {
@@ -639,12 +731,15 @@ impl IntegritySubsystem for IvLeagueSubsystem {
                     for _ in 0..out.conversions {
                         self.stats.meta_reads += 1;
                         self.stats.meta_writes += 1;
-                        t += self.cfg.secure.hash_latency;
+                        t += self.secure.hash_latency;
                     }
                     for p in &out.remapped {
                         self.lmm_cache.invalidate(*p);
                         dram.access(t, pte_block(self.pt_base, *p), true);
                         self.stats.meta_writes += 1;
+                    }
+                    if let Mapper::Nfl(f) = &mut self.mapper {
+                        f.recycle_ops(out.nfl_ops);
                     }
                     t
                 }
@@ -678,7 +773,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
                 }
             },
         };
-        if self.obs.tracer.enabled() {
+        if self.trace_on {
             self.obs.tracer.emit(
                 now,
                 "scheme",
@@ -699,10 +794,16 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         page: PageNum,
         domain: DomainId,
     ) -> Cycle {
-        let _alloc_timing = self.obs.profiler.scope(Phase::Alloc);
+        let _alloc_timing = self.prof_on.then(|| self.obs.profiler.scope(Phase::Alloc));
         let t = match &mut self.mapper {
             Mapper::Nfl(f) => match f.unmap_page(domain, page) {
-                Ok(out) => self.charge_nfl_ops(now, dram, domain, &out.nfl_ops),
+                Ok(out) => {
+                    let t = self.charge_nfl_ops(now, dram, domain, &out.nfl_ops);
+                    if let Mapper::Nfl(f) = &mut self.mapper {
+                        f.recycle_ops(out.nfl_ops);
+                    }
+                    t
+                }
                 Err(_) => now,
             },
             Mapper::Bv(b) => match b.unmap_page(domain, page) {
@@ -724,7 +825,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         self.lmm_cache.invalidate(page);
         dram.access(t, pte_block(self.pt_base, page), true);
         self.stats.meta_writes += 1;
-        if self.obs.tracer.enabled() {
+        if self.trace_on {
             self.obs
                 .tracer
                 .emit(now, "scheme", Some(domain), None, EventKind::PageDealloc);
@@ -737,16 +838,25 @@ impl IntegritySubsystem for IvLeagueSubsystem {
             Mapper::Nfl(f) => f.destroy_domain(domain),
             Mapper::Bv(b) => b.destroy_domain(domain),
         }
-        self.nflb.remove(&domain);
-        self.trackers.remove(&domain);
+        // Clear (not shrink) the dense slots: a recycled DomainId must see
+        // a fresh NFLB and tracker, never the departed domain's state.
+        let di = domain.index();
+        if let Some(slot) = self.nflb.get_mut(di) {
+            *slot = None;
+        }
+        if let Some(slot) = self.trackers.get_mut(di) {
+            *slot = None;
+        }
     }
 
     fn stats(&self) -> &IvStats {
         &self.stats
     }
 
-    fn attach_obs(&mut self, obs: Obs) {
-        self.obs = obs;
+    fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.trace_on = self.obs.tracer.enabled();
+        self.prof_on = self.obs.profiler.is_enabled();
     }
 
     fn export_stats(&self, prefix: &str, reg: &mut StatsRegistry) {
@@ -779,11 +889,10 @@ impl IntegritySubsystem for IvLeagueSubsystem {
                 f.starvation_events(),
             );
         }
-        for (domain, buf) in &self.nflb {
-            reg.set_gauge(
-                &format!("{prefix}.d{}.nflb_occupancy", domain.index()),
-                buf.len() as f64,
-            );
+        for (di, buf) in self.nflb.iter().enumerate() {
+            if let Some(buf) = buf {
+                reg.set_gauge(&format!("{prefix}.d{di}.nflb_occupancy"), buf.len() as f64);
+            }
         }
     }
 
@@ -801,6 +910,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn small_cfg() -> SystemConfig {
         let mut cfg = SystemConfig::default();
@@ -931,6 +1041,108 @@ mod tests {
         assert!(s.forest().unwrap().verify_isolation());
     }
 
+    /// Grows `dom` page by page until one maps at level 2 (a frontier-2
+    /// TreeLing with a hot region exists), returning that page.
+    fn grow_until_level2(
+        s: &mut IvLeagueSubsystem,
+        dram: &mut DramModel,
+        dom: DomainId,
+        t: &mut Cycle,
+    ) -> PageNum {
+        for i in 0..4096u64 {
+            let p = PageNum::new(i);
+            *t = s.page_alloc(*t, dram, p, dom) + 10;
+            if s.forest().expect("NFL run").mapped_level(p) == Some(2) {
+                return p;
+            }
+        }
+        panic!("domain never reached a frontier-2 TreeLing");
+    }
+
+    #[test]
+    fn domain_destroy_resets_dense_tables_for_recycled_ids() {
+        // A recycled DomainId must never see the departed domain's tracker
+        // state. Promote a page (tracker marks it `promoted`), destroy the
+        // domain, rebuild the same layout under the same ID: a stale
+        // tracker would keep the promoted flag and silently *suppress* the
+        // second promotion; a fresh one fires it after exactly
+        // `hot_threshold` accesses again.
+        let mut cfg = small_cfg();
+        cfg.ivleague.hot_threshold = 3;
+        let mut dram = DramModel::new(&cfg.dram);
+        let mut s = IvLeagueSubsystem::new(&cfg, IvVariant::Pro, AllocatorKind::Nfl);
+        let dom = d(5);
+        let mut t = 0;
+
+        let hot = grow_until_level2(&mut s, &mut dram, dom, &mut t);
+        for _ in 0..2 {
+            t = s.data_access(t, &mut dram, hot.block(0), dom, false) + 10;
+        }
+        assert_eq!(s.stats().hot_migrations, 0);
+        t = s.data_access(t, &mut dram, hot.block(0), dom, false) + 10;
+        assert_eq!(s.stats().hot_migrations, 1);
+
+        s.domain_destroyed(dom);
+
+        // Identical deterministic growth ⇒ the same page lands at level 2.
+        let hot2 = grow_until_level2(&mut s, &mut dram, dom, &mut t);
+        assert_eq!(hot, hot2);
+        for _ in 0..2 {
+            t = s.data_access(t, &mut dram, hot2.block(0), dom, false) + 10;
+        }
+        assert_eq!(
+            s.stats().hot_migrations,
+            1,
+            "stale tracker counts leaked across domain destroy/recreate"
+        );
+        s.data_access(t, &mut dram, hot2.block(0), dom, false);
+        assert_eq!(
+            s.stats().hot_migrations,
+            2,
+            "recycled domain's fresh tracker must promote again"
+        );
+    }
+
+    #[test]
+    fn domain_destroy_drops_nflb_occupancy_export() {
+        let cfg = small_cfg();
+        let mut dram = DramModel::new(&cfg.dram);
+        let mut s = IvLeagueSubsystem::new(&cfg, IvVariant::Basic, AllocatorKind::Nfl);
+        let dom = d(3);
+        s.page_alloc(0, &mut dram, PageNum::new(1), dom);
+
+        let mut reg = StatsRegistry::new();
+        s.export_stats("iv", &mut reg);
+        assert!(reg.gauge("iv.d3.nflb_occupancy").is_some());
+
+        s.domain_destroyed(dom);
+        let mut reg = StatsRegistry::new();
+        s.export_stats("iv", &mut reg);
+        assert!(
+            reg.gauge("iv.d3.nflb_occupancy").is_none(),
+            "destroyed domain still exports an NFLB"
+        );
+    }
+
+    #[test]
+    fn sparse_high_domain_ids_grow_dense_tables() {
+        // Dense tables index by DomainId; a high, isolated ID must work
+        // without touching the untouched low slots.
+        let cfg = small_cfg();
+        let mut dram = DramModel::new(&cfg.dram);
+        let mut s = IvLeagueSubsystem::new(&cfg, IvVariant::Pro, AllocatorKind::Nfl);
+        let dom = d(900);
+        let p = PageNum::new(4);
+        s.page_alloc(0, &mut dram, p, dom);
+        s.data_access(100, &mut dram, p.block(0), dom, false);
+        let mut reg = StatsRegistry::new();
+        s.export_stats("iv", &mut reg);
+        assert!(reg.gauge("iv.d900.nflb_occupancy").is_some());
+        for di in 0..900 {
+            assert!(reg.gauge(&format!("iv.d{di}.nflb_occupancy")).is_none());
+        }
+    }
+
     #[test]
     fn scheme_names_match_figures() {
         let cfg = small_cfg();
@@ -951,7 +1163,7 @@ mod tests {
             tracer: Tracer::bounded(DEFAULT_TRACE_CAP, TraceFilter::default()),
             profiler: Profiler::enabled(),
         };
-        s.attach_obs(obs.clone());
+        s.attach_obs(&obs);
 
         let mut t = 0;
         for i in 0..32u64 {

@@ -139,7 +139,27 @@ impl HotpageTracker {
             }
         }
 
-        if let Some(e) = self.entries.iter_mut().find(|e| e.page == page) {
+        // One scan serves both the lookup and the replacement-victim
+        // search (smallest counter, ties toward the oldest entry): a hit
+        // short-circuits, a miss already knows its victim. Strict `<` keeps
+        // the first minimum, matching what `min_by_key` selected.
+        let mut hit_idx = None;
+        let mut victim_idx = 0usize;
+        let mut victim_key = (u32::MAX, u64::MAX);
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.page == page {
+                hit_idx = Some(i);
+                break;
+            }
+            let key = (e.counter, e.seq);
+            if key < victim_key {
+                victim_key = key;
+                victim_idx = i;
+            }
+        }
+
+        if let Some(i) = hit_idx {
+            let e = &mut self.entries[i];
             e.counter = (e.counter + 1).min(self.counter_max);
             if !e.promoted && e.counter >= self.threshold {
                 e.promoted = true;
@@ -162,14 +182,8 @@ impl HotpageTracker {
         if self.entries.len() < self.capacity {
             self.entries.push(new_entry);
         } else {
-            // Replace the entry with the smallest counter, breaking ties
-            // toward the oldest entry so a striding set churns fairly.
-            let (idx, _) = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| (e.counter, e.seq))
-                .expect("nonempty");
+            // Replace the single-scan victim computed above.
+            let idx = victim_idx;
             let victim = self.entries[idx];
             if victim.promoted {
                 events.push(HotEvent::Demote(victim.page));

@@ -369,8 +369,8 @@ impl IntegritySubsystem for GlobalBmtSubsystem {
         &self.stats
     }
 
-    fn attach_obs(&mut self, obs: Obs) {
-        self.obs = obs;
+    fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
     }
 
     fn name(&self) -> &'static str {
@@ -472,7 +472,7 @@ mod tests {
         let (mut s, mut dram) = setup();
         let mut obs = Obs::disabled();
         obs.tracer = Tracer::bounded(1 << 12, TraceFilter::all());
-        s.attach_obs(obs.clone());
+        s.attach_obs(&obs);
 
         s.data_access(0, &mut dram, BlockAddr::new(0), d0(), false);
         s.data_access(100_000, &mut dram, BlockAddr::new(0), d0(), false);

@@ -190,9 +190,10 @@ pub trait IntegritySubsystem {
     /// (the simulator's warmup epoch works this way — there is no reset).
     fn stats(&self) -> &IvStats;
 
-    /// Attaches an observability handle. Schemes that trace re-clone it
-    /// into their internals; the default ignores it.
-    fn attach_obs(&mut self, obs: Obs) {
+    /// Attaches an observability handle. Schemes that trace clone it into
+    /// their internals (and may cache its enabled flags); the default
+    /// ignores it.
+    fn attach_obs(&mut self, obs: &Obs) {
         let _ = obs;
     }
 

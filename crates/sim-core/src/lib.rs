@@ -26,6 +26,7 @@
 pub mod addr;
 pub mod config;
 pub mod domain;
+pub mod fxhash;
 pub mod obs;
 pub mod rng;
 pub mod stats;

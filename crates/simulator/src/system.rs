@@ -373,8 +373,12 @@ pub fn run_mix_observed(
     obs_cfg: &ObsConfig,
 ) -> ObservedRun {
     let obs = Obs::from_config(obs_cfg);
+    // Cached enabled flags: the hot loop branches on plain bools instead of
+    // re-querying the handles per event.
+    let trace_on = obs.tracer.enabled();
+    let prof_on = obs.profiler.is_enabled();
     let mut scheme = scheme_kind.build(cfg);
-    scheme.as_subsystem().attach_obs(obs.clone());
+    scheme.as_subsystem().attach_obs(&obs);
     let mut dram = DramModel::new(&cfg.dram);
     dram.set_obs(obs.clone());
     let mut llc = RandomizedCache::with_geometry(
@@ -439,6 +443,9 @@ pub fn run_mix_observed(
     // values are end-of-run exports minus these.
     let mut epoch_stats = IvStats::default();
     let mut epoch_reg = StatsRegistry::new();
+    // Scratch buffer for L2→LLC write-backs, reused every iteration so the
+    // hot loop never allocates.
+    let mut llc_writebacks: Vec<u64> = Vec::new();
 
     loop {
         // Least-advanced core executes next (loose global ordering).
@@ -489,7 +496,7 @@ pub fn run_mix_observed(
 
         let core = &mut cores[idx];
         let event = {
-            let _gen_timing = obs.profiler.scope(Phase::TraceGen);
+            let _gen_timing = prof_on.then(|| obs.profiler.scope(Phase::TraceGen));
             gens[core.gen].next_event()
         };
         match event {
@@ -510,10 +517,10 @@ pub fn run_mix_observed(
                 let key = block.index();
                 core.now += cfg.core.l2.hit_latency;
                 let l2 = {
-                    let _cache_timing = obs.profiler.scope(Phase::CoreCache);
+                    let _cache_timing = prof_on.then(|| obs.profiler.scope(Phase::CoreCache));
                     core.l2.access(key, is_write)
                 };
-                if obs.tracer.enabled() {
+                if trace_on {
                     obs.tracer.emit(
                         core.now,
                         "cache",
@@ -529,17 +536,17 @@ pub fn run_mix_observed(
                 if l2.hit {
                     continue;
                 }
-                let mut llc_writebacks: Vec<u64> = Vec::new();
+                llc_writebacks.clear();
                 if let Some(e) = l2.evicted.filter(|e| e.dirty) {
                     llc_writebacks.push(e.key);
                 }
                 core.now += cfg.llc.cache.hit_latency - cfg.core.l2.hit_latency;
                 let llc_out = {
-                    let _cache_timing = obs.profiler.scope(Phase::CoreCache);
+                    let _cache_timing = prof_on.then(|| obs.profiler.scope(Phase::CoreCache));
                     llc.access(key, is_write)
                 };
                 let llc_hit = llc_out.hit;
-                if obs.tracer.enabled() {
+                if trace_on {
                     obs.tracer.emit(
                         core.now,
                         "cache",
@@ -554,7 +561,7 @@ pub fn run_mix_observed(
                 }
                 if let Some(e) = llc_out.evicted.filter(|e| e.dirty) {
                     // LLC dirty eviction: secure write-back to memory.
-                    let _integrity_timing = obs.profiler.scope(Phase::Integrity);
+                    let _integrity_timing = prof_on.then(|| obs.profiler.scope(Phase::Integrity));
                     scheme.as_subsystem().data_access(
                         core.now,
                         &mut dram,
@@ -563,10 +570,11 @@ pub fn run_mix_observed(
                         true,
                     );
                 }
-                for wb in llc_writebacks {
+                for wb in llc_writebacks.drain(..) {
                     let out = llc.access(wb, true);
                     if let Some(e) = out.evicted.filter(|e| e.dirty) {
-                        let _integrity_timing = obs.profiler.scope(Phase::Integrity);
+                        let _integrity_timing =
+                            prof_on.then(|| obs.profiler.scope(Phase::Integrity));
                         scheme.as_subsystem().data_access(
                             core.now,
                             &mut dram,
@@ -581,7 +589,7 @@ pub fn run_mix_observed(
                 }
                 // LLC miss: the secure memory path.
                 let done = {
-                    let _integrity_timing = obs.profiler.scope(Phase::Integrity);
+                    let _integrity_timing = prof_on.then(|| obs.profiler.scope(Phase::Integrity));
                     scheme.as_subsystem().data_access(
                         core.now,
                         &mut dram,

@@ -1,28 +1,117 @@
-//! Scoped-thread parallel runner (in-tree `crossbeam` + `parking_lot`
-//! stand-in).
+//! Work-stealing scoped-thread parallel runner (in-tree `crossbeam` +
+//! `parking_lot` stand-in).
 //!
 //! [`map_parallel`] fans a job list out over a worker pool built on
-//! `std::thread::scope` and collects results through a mutex-guarded,
-//! slot-indexed collector, so the output order always matches the input
-//! order regardless of completion order. A panicking job propagates out
-//! of the scope exactly like the crossbeam version did.
+//! `std::thread::scope`. The job list is split into one contiguous deque
+//! per worker; a worker pops from the **front** of its own deque and, once
+//! drained, steals from the **back** of the fullest victim's deque. Both
+//! ends of a deque live in a single packed `AtomicU64`, so claiming a job
+//! is one CAS and an imbalanced job mix (one slow (mix, scheme) point next
+//! to many fast ones) no longer serializes on the worker that happened to
+//! own the slow chunk.
+//!
+//! Each claimed index is owned by exactly one worker, so results land in
+//! lock-free pre-allocated slots (single writer per slot, joined before
+//! reads). Output order always matches input order regardless of
+//! completion order, and a panicking job propagates out of the scope
+//! exactly like the crossbeam version did.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of workers to use by default: one per available core.
+/// Number of workers to use by default: `IVL_WORKERS` when set, else one
+/// per available core.
 pub fn available_workers() -> usize {
+    if let Ok(v) = std::env::var("IVL_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
 }
 
+/// One worker's job range `[front, back)`, packed as `front << 32 | back`
+/// so popping either end is a single compare-exchange.
+struct Range(AtomicU64);
+
+impl Range {
+    fn new(front: usize, back: usize) -> Self {
+        Range(AtomicU64::new(Self::pack(front as u32, back as u32)))
+    }
+
+    fn pack(front: u32, back: u32) -> u64 {
+        (front as u64) << 32 | back as u64
+    }
+
+    fn unpack(v: u64) -> (u32, u32) {
+        ((v >> 32) as u32, v as u32)
+    }
+
+    /// Jobs left in the range.
+    fn len(&self) -> u32 {
+        let (f, b) = Self::unpack(self.0.load(Ordering::Acquire));
+        b.saturating_sub(f)
+    }
+
+    /// Claims the front job (the owner's end).
+    fn pop_front(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (f, b) = Self::unpack(cur);
+            if f >= b {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                Self::pack(f + 1, b),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(f as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Claims the back job (a thief's end).
+    fn pop_back(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (f, b) = Self::unpack(cur);
+            if f >= b {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                Self::pack(f, b - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((b - 1) as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// Pre-allocated per-job result slots. Safety contract: job index `i` is
+/// claimed by exactly one worker (a successful `pop_front`/`pop_back` CAS
+/// transfers ownership), so at most one thread ever writes `slots[i]`, and
+/// reads happen only after `thread::scope` joins every worker.
+struct ResultSlots<T> {
+    slots: Vec<UnsafeCell<Option<T>>>,
+}
+
+unsafe impl<T: Send> Sync for ResultSlots<T> {}
+
 /// Applies `f` to every job on up to `workers` scoped threads and returns
 /// the results **in input order**.
 ///
-/// Jobs are pulled from a shared atomic cursor, so long jobs don't stall
-/// the queue behind them; each result lands in its own slot of the
-/// mutex-guarded collector.
+/// Jobs are pre-split into per-worker deques; idle workers steal from the
+/// back of the fullest remaining deque, so long jobs neither stall the
+/// queue behind them nor leave siblings idle.
 pub fn map_parallel<I, T, F>(jobs: &[I], workers: usize, f: F) -> Vec<T>
 where
     I: Sync,
@@ -33,31 +122,72 @@ where
         return Vec::new();
     }
     let workers = workers.clamp(1, jobs.len());
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
-    let cursor = AtomicUsize::new(0);
+    let results = ResultSlots {
+        slots: (0..jobs.len()).map(|_| UnsafeCell::new(None)).collect(),
+    };
+    // Contiguous initial split; the remainder spreads over the first deques.
+    let chunk = jobs.len() / workers;
+    let extra = jobs.len() % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let len = chunk + usize::from(w < extra);
+        ranges.push(Range::new(start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, jobs.len());
+
+    // Borrow the whole wrapper (not the inner Vec) so the closure's capture
+    // carries `ResultSlots`'s `Sync` impl across threads.
+    let slots = &results;
+    let run_job = |i: usize| {
+        let out = f(&jobs[i]);
+        // SAFETY: index `i` was claimed by exactly one CAS; no other thread
+        // touches this slot until the scope joins.
+        unsafe { *slots.slots[i].get() = Some(out) };
+    };
+
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
+        for me in 0..workers {
+            let ranges = &ranges;
+            let run_job = &run_job;
+            scope.spawn(move || {
+                // Own deque first…
+                while let Some(i) = ranges[me].pop_front() {
+                    run_job(i);
                 }
-                let out = f(&jobs[i]);
-                results.lock().expect("collector poisoned")[i] = Some(out);
+                // …then steal from the back of the fullest victim until
+                // every deque is empty. Jobs are never re-enqueued, so an
+                // empty sweep means global completion.
+                loop {
+                    let victim = ranges
+                        .iter()
+                        .enumerate()
+                        .filter(|(w, _)| *w != me)
+                        .max_by_key(|(_, r)| r.len())
+                        .filter(|(_, r)| r.len() > 0)
+                        .map(|(w, _)| w);
+                    let Some(v) = victim else { break };
+                    if let Some(i) = ranges[v].pop_back() {
+                        run_job(i);
+                    }
+                    // A failed steal (raced to empty) just re-scans.
+                }
             });
         }
     });
+
     results
-        .into_inner()
-        .expect("collector poisoned")
+        .slots
         .into_iter()
-        .map(|r| r.expect("every job completed"))
+        .map(|slot| slot.into_inner().expect("every job completed"))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn preserves_input_order() {
@@ -93,5 +223,49 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once_under_stealing() {
+        // One pathologically slow job at the head of worker 0's deque: the
+        // rest of its chunk must be stolen, and nothing may run twice.
+        let jobs: Vec<usize> = (0..64).collect();
+        let runs: Vec<AtomicUsize> = (0..jobs.len()).map(|_| AtomicUsize::new(0)).collect();
+        let out = map_parallel(&jobs, 4, |&j| {
+            runs[j].fetch_add(1, Ordering::Relaxed);
+            if j == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            j
+        });
+        assert_eq!(out, jobs);
+        for (j, r) in runs.iter().enumerate() {
+            assert_eq!(
+                r.load(Ordering::Relaxed),
+                1,
+                "job {j} ran a wrong number of times"
+            );
+        }
+    }
+
+    #[test]
+    fn range_pop_semantics() {
+        let r = Range::new(3, 6);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.pop_front(), Some(3));
+        assert_eq!(r.pop_back(), Some(5));
+        assert_eq!(r.pop_back(), Some(4));
+        assert_eq!(r.pop_back(), None);
+        assert_eq!(r.pop_front(), None);
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let jobs: Vec<u64> = (0..41).collect();
+        let serial = map_parallel(&jobs, 1, |&j| j * j + 1);
+        for workers in [2, 3, 8] {
+            assert_eq!(serial, map_parallel(&jobs, workers, |&j| j * j + 1));
+        }
     }
 }

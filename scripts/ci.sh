@@ -16,12 +16,16 @@
 #   3. lints                - cargo clippy --all-targets -D warnings
 #   4. build + test         - --locked --offline, per profile
 #   5. bench smoke + gate   - one quick ivl-bench micro run, diffed against
-#                             BENCH_baseline.json by bench_compare; fails on
-#                             a median regression beyond the threshold
+#                             BENCH_pr5.json by bench_compare; fails on a
+#                             median regression beyond the threshold
 #                             (IVL_BENCH_GATE_THRESHOLD, default 1.0 = 2x)
 #   6. observability smoke  - obs_run writes + self-validates a trace
 #                             (JSONL) and stats registry (JSON) for a quick
 #                             mix and a short attack
+#   7. figures wall-clock   - all_figures --quick (release only) must finish
+#                             within IVL_FIGURES_BUDGET_SECS (default 900);
+#                             catches campaign-layer slowdowns the per-bench
+#                             medians cannot see
 
 set -euo pipefail
 
@@ -90,11 +94,11 @@ BENCH_JSON="$(pwd)/target/bench_quick.json"
 IVL_BENCH_QUICK=1 IVL_BENCH_JSON="$BENCH_JSON" \
     cargo bench -p ivl-bench --locked --offline
 
-step "bench regression gate (vs BENCH_baseline.json)"
+step "bench regression gate (vs BENCH_pr5.json)"
 # Quick-mode medians on shared runners are noisy; the generous default
 # threshold catches order-of-magnitude mistakes, not percent-level drift.
 cargo run -q -p ivl-bench --bin bench_compare --locked --offline -- \
-    BENCH_baseline.json "$BENCH_JSON" \
+    BENCH_pr5.json "$BENCH_JSON" \
     --threshold "${IVL_BENCH_GATE_THRESHOLD:-1.0}"
 
 step "observability smoke (obs_run --quick)"
@@ -106,6 +110,25 @@ IVL_TRACE="$(pwd)/target/obs_trace.jsonl" \
     IVL_STATS_JSON="$(pwd)/target/obs_stats.json" \
     IVL_TRACE_CAP=50000 \
     cargo run -q -p ivl-bench --bin obs_run --locked --offline -- S-1 IvPro --quick
+
+if [ "$PROFILE_FILTER" != "debug" ]; then
+    step "figures wall-clock smoke (all_figures --quick)"
+    # Runs the full figure campaign in quick mode against a wall-clock
+    # budget. The budget is generous (default 15 min) and env-overridable
+    # because CI cores vary; it exists to catch campaign-layer slowdowns —
+    # a serialized sweep, a lost parallel runner — that the micro-bench
+    # medians cannot see. Debug-only runs skip it: the budget is calibrated
+    # for the release profile.
+    FIGURES_BUDGET="${IVL_FIGURES_BUDGET_SECS:-900}"
+    FIGURES_START=$(date +%s)
+    cargo run -q --release -p ivl-bench --bin all_figures --locked --offline -- --quick
+    FIGURES_ELAPSED=$(($(date +%s) - FIGURES_START))
+    echo "all_figures --quick took ${FIGURES_ELAPSED}s (budget ${FIGURES_BUDGET}s)"
+    if [ "$FIGURES_ELAPSED" -gt "$FIGURES_BUDGET" ]; then
+        echo "FAIL: figure campaign exceeded its wall-clock budget" >&2
+        exit 1
+    fi
+fi
 
 step "done"
 echo "OK: all CI checks passed ($PROFILE_FILTER)"
