@@ -69,6 +69,20 @@ fn bench_caches_and_dram(h: &mut Harness) {
     h.bench("set_assoc_access", || {
         cache.access(black_box(rng.next_below(1 << 20)), false)
     });
+    // Worst case for the cache: a cyclic sweep over twice the cache's
+    // block capacity, so once warm every access misses and evicts.
+    let mut cache = SetAssocCache::with_geometry(256 * 1024, 8, 64);
+    let cache_blocks = 2 * (256 * 1024 / 64) as u64;
+    let mut i = 0u64;
+    for _ in 0..cache_blocks {
+        i += 1;
+        cache.access(i % cache_blocks, false);
+    }
+    h.bench("llc_miss_evict", || {
+        i += 1;
+        cache.access(black_box(i % cache_blocks), false)
+    });
+
     let cfg = SystemConfig::default();
     let mut dram = DramModel::new(&cfg.dram);
     let mut rng = Xoshiro256::seed_from(1);
@@ -76,6 +90,38 @@ fn bench_caches_and_dram(h: &mut Harness) {
     h.bench("dram_access", || {
         now += 10;
         dram.access(now, BlockAddr::new(rng.next_below(1 << 24)), false)
+    });
+
+    // Worst case for the DRAM model: ping-pong between two rows of the
+    // same bank (same channel/bank bits, row bit toggling), so every
+    // access after the first is a precharge+activate conflict.
+    let mut dram = DramModel::new(&cfg.dram);
+    let blocks_per_row = (cfg.dram.row_bytes / 64) as u64;
+    let banks_per_channel = (cfg.dram.ranks_per_channel * cfg.dram.banks_per_rank) as u64;
+    let row_stride = cfg.dram.channels as u64 * blocks_per_row * banks_per_channel;
+    let mut now = 0u64;
+    h.bench("dram_row_conflict", || {
+        now += 10;
+        dram.access(now, BlockAddr::new((now / 10 % 2) * row_stride), false)
+    });
+}
+
+fn bench_scheduler(h: &mut Harness) {
+    h.group("scheduler");
+    use ivl_simulator::calendar::EventCalendar;
+    // Steady-state pop + reschedule over a calendar sized like a large
+    // multi-domain system (cores plus deferred model events in flight).
+    let mut cal: EventCalendar<u32> = EventCalendar::with_capacity(256);
+    let mut rng = Xoshiro256::seed_from(3);
+    for i in 0..256u32 {
+        cal.schedule(rng.next_below(1_000), i as u64, i);
+    }
+    let mut now = 0u64;
+    h.bench("scheduler_pop", || {
+        let (at, id) = cal.pop().expect("calendar stays populated");
+        now = now.max(at);
+        cal.schedule(now + 1 + rng.next_below(200), id as u64, id);
+        id
     });
 }
 
@@ -165,6 +211,7 @@ fn main() {
     bench_crypto(&mut h);
     bench_functional_secure_memory(&mut h);
     bench_caches_and_dram(&mut h);
+    bench_scheduler(&mut h);
     bench_nfl_and_forest(&mut h);
     bench_scheme_access_paths(&mut h);
     bench_workload_generator(&mut h);

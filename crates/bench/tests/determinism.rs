@@ -7,7 +7,7 @@
 //! timing), which would also poison figure reproducibility.
 
 use ivl_bench::run_matrix_on_with_workers;
-use ivl_simulator::{RunConfig, SchemeKind};
+use ivl_simulator::{run_mix_with_scheduler, RunConfig, SchedulerKind, SchemeKind};
 use ivl_workloads::mixes::MIXES;
 
 const MAIN_SCHEMES: [SchemeKind; 4] = [
@@ -16,6 +16,33 @@ const MAIN_SCHEMES: [SchemeKind; 4] = [
     SchemeKind::IvInvert,
     SchemeKind::IvPro,
 ];
+
+/// The event-calendar core scheduler must be invisible in the results:
+/// popping core-ready events from a binary heap has to reproduce the
+/// pre-refactor linear `min_by_key` scan's loose global ordering —
+/// least-advanced core first, ties to the lowest core index —
+/// **bit-for-bit**, across the full 16-mix × 4-scheme matrix. Any
+/// divergence means the calendar reordered simultaneous cores (or dropped
+/// or duplicated a requeue), which would silently change every figure.
+#[test]
+fn event_calendar_is_bit_identical_to_linear_scan() {
+    let run = RunConfig::smoke_test();
+    for mix in &MIXES {
+        for scheme in MAIN_SCHEMES {
+            let linear = run_mix_with_scheduler(mix, scheme, &run, SchedulerKind::LinearScan);
+            let calendar = run_mix_with_scheduler(mix, scheme, &run, SchedulerKind::EventCalendar);
+            // `Debug` prints every stat field and every f64 with
+            // shortest-round-trip precision, so equal strings ⇔ bit-equal
+            // results (modulo NaN, which no field may be anyway).
+            assert_eq!(
+                format!("{linear:?}"),
+                format!("{calendar:?}"),
+                "calendar and linear-scan orderings diverged for {}/{scheme:?}",
+                mix.name
+            );
+        }
+    }
+}
 
 #[test]
 fn parallel_campaign_is_bit_identical_to_serial() {

@@ -9,6 +9,19 @@
 //! activate/precharge phases exactly as an FR-FCFS scheduler's row-hit-first
 //! policy would produce for the steady state the trace-driven engine models.
 //!
+//! # State layout
+//!
+//! Bank state lives in dense, index-addressed tables rather than nested
+//! per-channel vectors (DESIGN.md §6): one flat slab per field, indexed by
+//! `channel * banks_per_channel + bank`. The hot fields the per-access path
+//! reads and writes (`open_row`, `busy_until`) are split from the cold
+//! per-bank statistics (structure-of-arrays), so an access touches two
+//! small hot arrays instead of pulling whole bank structs through the
+//! cache. Address decode uses shift/mask arithmetic whenever the geometry
+//! is power-of-two (the default and every Table I configuration), falling
+//! back to div/mod otherwise — a differential test pins both paths to the
+//! arithmetic definition.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,13 +55,9 @@ pub struct DramCoord {
     pub row: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Bank {
-    open_row: Option<u64>,
-    busy_until: Cycle,
-    row_hits: u64,
-    row_conflicts: u64,
-}
+/// Sentinel in the `open_row` table for "no row open" (all banks precharge
+/// far below 2^64 rows: a 32 GiB module has fewer than 2^26).
+const NO_OPEN_ROW: u64 = u64::MAX;
 
 /// Row-buffer outcome of a single access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,18 +83,42 @@ pub struct DramStats {
     pub row_conflicts: Counter,
 }
 
+/// Precomputed address-decode constants: shift/mask when every geometry
+/// factor is a power of two, div/mod fallback otherwise.
+#[derive(Debug, Clone, Copy)]
+struct Decode {
+    /// All of channels / blocks-per-row / banks-per-channel are powers of
+    /// two, so `coord` reduces to shifts and masks.
+    pow2: bool,
+    ch_mask: u64,
+    ch_shift: u32,
+    row_shift: u32,
+    bank_mask: u64,
+    bank_shift: u32,
+}
+
 /// The DRAM timing model.
 #[derive(Debug, Clone)]
 pub struct DramModel {
     cfg: DramConfig,
     banks_per_channel: usize,
     blocks_per_row: u64,
-    /// `banks[channel][bank]`.
-    banks: Vec<Vec<Bank>>,
+    decode: Decode,
+    /// Hot per-bank state, flat-indexed by `channel * banks_per_channel +
+    /// bank`: the currently open row ([`NO_OPEN_ROW`] when precharged).
+    open_row: Box<[u64]>,
+    /// Hot per-bank state: cycle the bank's array becomes free.
+    busy_until: Box<[Cycle]>,
     /// Per-channel data-bus availability.
-    bus_free: Vec<Cycle>,
+    bus_free: Box<[Cycle]>,
+    /// Cold per-bank statistics (same flat indexing as the hot tables).
+    bank_row_hits: Box<[u64]>,
+    bank_row_conflicts: Box<[u64]>,
     stats: DramStats,
     obs: Obs,
+    /// Cached tracer gate: `access` branches on a plain bool instead of
+    /// re-querying the tracer handle per request.
+    trace_on: bool,
 }
 
 impl DramModel {
@@ -99,76 +132,100 @@ impl DramModel {
         assert!(cfg.channels > 0 && cfg.ranks_per_channel > 0 && cfg.banks_per_rank > 0);
         assert!(cfg.row_bytes >= BLOCK_BYTES);
         let banks_per_channel = cfg.ranks_per_channel * cfg.banks_per_rank;
+        let blocks_per_row = (cfg.row_bytes / BLOCK_BYTES) as u64;
+        let total_banks = cfg.channels * banks_per_channel;
+        let pow2 = cfg.channels.is_power_of_two()
+            && blocks_per_row.is_power_of_two()
+            && banks_per_channel.is_power_of_two();
         DramModel {
             cfg: *cfg,
             banks_per_channel,
-            blocks_per_row: (cfg.row_bytes / BLOCK_BYTES) as u64,
-            banks: vec![
-                vec![
-                    Bank {
-                        open_row: None,
-                        busy_until: 0,
-                        row_hits: 0,
-                        row_conflicts: 0,
-                    };
-                    banks_per_channel
-                ];
-                cfg.channels
-            ],
-            bus_free: vec![0; cfg.channels],
+            blocks_per_row,
+            decode: Decode {
+                pow2,
+                ch_mask: cfg.channels as u64 - 1,
+                ch_shift: cfg.channels.trailing_zeros(),
+                row_shift: blocks_per_row.trailing_zeros(),
+                bank_mask: banks_per_channel as u64 - 1,
+                bank_shift: banks_per_channel.trailing_zeros(),
+            },
+            open_row: vec![NO_OPEN_ROW; total_banks].into_boxed_slice(),
+            busy_until: vec![0; total_banks].into_boxed_slice(),
+            bus_free: vec![0; cfg.channels].into_boxed_slice(),
+            bank_row_hits: vec![0; total_banks].into_boxed_slice(),
+            bank_row_conflicts: vec![0; total_banks].into_boxed_slice(),
             stats: DramStats::default(),
             obs: Obs::disabled(),
+            trace_on: false,
         }
     }
 
     /// Attaches an observability handle; the model emits a `DramAccess`
     /// trace event per request while it is enabled.
     pub fn set_obs(&mut self, obs: Obs) {
+        self.trace_on = obs.tracer.enabled();
         self.obs = obs;
     }
 
     /// Maps a block address to its DRAM coordinates (block-interleaved
     /// channels, then row-interleaved banks).
+    #[inline]
     pub fn coord(&self, block: BlockAddr) -> DramCoord {
         let idx = block.index();
-        let channel = (idx % self.cfg.channels as u64) as usize;
-        let per_channel = idx / self.cfg.channels as u64;
-        let row_global = per_channel / self.blocks_per_row;
-        let bank = (row_global % self.banks_per_channel as u64) as usize;
-        let row = row_global / self.banks_per_channel as u64;
-        DramCoord { channel, bank, row }
+        let d = self.decode;
+        if d.pow2 {
+            let channel = (idx & d.ch_mask) as usize;
+            let row_global = idx >> d.ch_shift >> d.row_shift;
+            DramCoord {
+                channel,
+                bank: (row_global & d.bank_mask) as usize,
+                row: row_global >> d.bank_shift,
+            }
+        } else {
+            let channel = (idx % self.cfg.channels as u64) as usize;
+            let per_channel = idx / self.cfg.channels as u64;
+            let row_global = per_channel / self.blocks_per_row;
+            DramCoord {
+                channel,
+                bank: (row_global % self.banks_per_channel as u64) as usize,
+                row: row_global / self.banks_per_channel as u64,
+            }
+        }
     }
 
     /// Issues one request at cycle `now`; returns its completion cycle.
     pub fn access(&mut self, now: Cycle, block: BlockAddr, is_write: bool) -> Cycle {
         let c = self.coord(block);
+        let bi = c.channel * self.banks_per_channel + c.bank;
         if is_write {
             self.stats.writes.inc();
         } else {
             self.stats.reads.inc();
         }
 
-        let bank = &mut self.banks[c.channel][c.bank];
         // Bank-level serialization only: array accesses in different banks
         // overlap, and the shared data bus is occupied just for the burst.
-        let start = now.max(bank.busy_until);
+        let start = now.max(self.busy_until[bi]);
 
-        let (outcome, array_latency) = match bank.open_row {
-            Some(r) if r == c.row => (RowOutcome::Hit, self.cfg.t_cas),
-            Some(_) => (
+        let open = self.open_row[bi];
+        let (outcome, array_latency) = if open == c.row {
+            (RowOutcome::Hit, self.cfg.t_cas)
+        } else if open != NO_OPEN_ROW {
+            (
                 RowOutcome::Conflict,
                 self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas,
-            ),
-            None => (RowOutcome::Empty, self.cfg.t_rcd + self.cfg.t_cas),
+            )
+        } else {
+            (RowOutcome::Empty, self.cfg.t_rcd + self.cfg.t_cas)
         };
         match outcome {
             RowOutcome::Hit => {
                 self.stats.row_hits.inc();
-                bank.row_hits = bank.row_hits.saturating_add(1);
+                self.bank_row_hits[bi] = self.bank_row_hits[bi].saturating_add(1);
             }
             RowOutcome::Conflict => {
                 self.stats.row_conflicts.inc();
-                bank.row_conflicts = bank.row_conflicts.saturating_add(1);
+                self.bank_row_conflicts[bi] = self.bank_row_conflicts[bi].saturating_add(1);
             }
             RowOutcome::Empty => {}
         }
@@ -178,11 +235,11 @@ impl DramModel {
         // granularity (pipelined with other banks' array accesses).
         let burst_start = data_ready.max(self.bus_free[c.channel]);
         let done = burst_start + self.cfg.t_burst;
-        bank.open_row = Some(c.row);
-        bank.busy_until = data_ready;
+        self.open_row[bi] = c.row;
+        self.busy_until[bi] = data_ready;
         self.bus_free[c.channel] = done;
 
-        if self.obs.tracer.enabled() {
+        if self.trace_on {
             self.obs.tracer.emit(
                 now,
                 "dram",
@@ -225,16 +282,15 @@ impl DramModel {
             &format!("{prefix}.row_conflicts"),
             self.stats.row_conflicts.get(),
         );
-        for (ch, banks) in self.banks.iter().enumerate() {
-            for (b, bank) in banks.iter().enumerate() {
-                if bank.row_hits == 0 && bank.row_conflicts == 0 {
+        for ch in 0..self.cfg.channels {
+            for b in 0..self.banks_per_channel {
+                let bi = ch * self.banks_per_channel + b;
+                let (hits, conflicts) = (self.bank_row_hits[bi], self.bank_row_conflicts[bi]);
+                if hits == 0 && conflicts == 0 {
                     continue;
                 }
-                reg.set_counter(&format!("{prefix}.ch{ch}.bank{b}.row_hits"), bank.row_hits);
-                reg.set_counter(
-                    &format!("{prefix}.ch{ch}.bank{b}.row_conflicts"),
-                    bank.row_conflicts,
-                );
+                reg.set_counter(&format!("{prefix}.ch{ch}.bank{b}.row_hits"), hits);
+                reg.set_counter(&format!("{prefix}.ch{ch}.bank{b}.row_conflicts"), conflicts);
             }
         }
     }
@@ -407,5 +463,75 @@ mod tests {
             assert!(c.channel < d.config().channels);
             assert!(c.bank < d.banks_per_channel);
         }
+    }
+
+    /// The arithmetic definition of the address mapping, as the pre-SoA
+    /// implementation computed it with div/mod on every access.
+    fn reference_coord(cfg: &DramConfig, idx: u64) -> DramCoord {
+        let blocks_per_row = (cfg.row_bytes / BLOCK_BYTES) as u64;
+        let banks_per_channel = (cfg.ranks_per_channel * cfg.banks_per_rank) as u64;
+        let channel = (idx % cfg.channels as u64) as usize;
+        let per_channel = idx / cfg.channels as u64;
+        let row_global = per_channel / blocks_per_row;
+        DramCoord {
+            channel,
+            bank: (row_global % banks_per_channel) as usize,
+            row: row_global / banks_per_channel,
+        }
+    }
+
+    #[test]
+    fn shift_mask_coord_matches_divmod_reference() {
+        let d = model();
+        assert!(d.decode.pow2, "default geometry must take the fast path");
+        let cfg = *d.config();
+        for i in 0..200_000u64 {
+            let idx = i.wrapping_mul(0x9E37_79B9).wrapping_add(i);
+            assert_eq!(d.coord(BlockAddr::new(idx)), reference_coord(&cfg, idx));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_geometry_falls_back_to_divmod() {
+        let mut cfg = SystemConfig::default().dram;
+        cfg.channels = 3;
+        cfg.ranks_per_channel = 1;
+        cfg.banks_per_rank = 5;
+        let d = DramModel::new(&cfg);
+        assert!(!d.decode.pow2);
+        for i in 0..50_000u64 {
+            let idx = i.wrapping_mul(131).wrapping_add(7);
+            let c = d.coord(BlockAddr::new(idx));
+            assert_eq!(c, reference_coord(&cfg, idx));
+            assert!(c.channel < 3 && c.bank < 5);
+        }
+        // Timing math is geometry-independent: an empty-bank access still
+        // charges activate + column + burst.
+        let mut d = d;
+        assert_eq!(
+            d.access_latency(0, BlockAddr::new(0), false),
+            cfg.t_rcd + cfg.t_cas + cfg.t_burst
+        );
+    }
+
+    #[test]
+    fn set_obs_caches_tracer_gate() {
+        use ivl_sim_core::obs::trace::TraceFilter;
+        use ivl_sim_core::obs::{Obs, Tracer};
+
+        let mut d = model();
+        d.access(0, BlockAddr::new(0), false);
+        let mut obs = Obs::disabled();
+        obs.tracer = Tracer::bounded(16, TraceFilter::all());
+        d.set_obs(obs.clone());
+        d.access(100, BlockAddr::new(0), false);
+        assert_eq!(obs.tracer.sorted_records().len(), 1, "gate on after attach");
+        d.set_obs(Obs::disabled());
+        d.access(200, BlockAddr::new(0), false);
+        assert_eq!(
+            obs.tracer.sorted_records().len(),
+            1,
+            "gate off after detach"
+        );
     }
 }

@@ -14,10 +14,9 @@
 //! * **BV-v2** tracks reclamation across TreeLings and performs the
 //!   corresponding cross-TreeLing scans, which is correct but slow.
 
-use std::collections::HashMap;
-
 use ivl_sim_core::addr::PageNum;
 use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::fxhash::FxHashMap;
 
 use crate::domains::{DomainController, StarvationError};
 use crate::forest::ForestError;
@@ -47,10 +46,48 @@ pub const BITS_PER_BLOCK: u64 = 512;
 
 #[derive(Debug)]
 struct BvTreeLing {
-    /// One bit per leaf slot; `true` = occupied.
-    bits: Vec<bool>,
+    /// One bit per leaf slot (`1` = occupied), packed 64 per word; the
+    /// padding bits past `len` in the last word are permanently set so a
+    /// word-wise first-zero scan can never step outside the TreeLing.
+    words: Vec<u64>,
+    /// Leaf-slot count (bit length of the vector).
+    len: usize,
+    /// Free-slot count; lets a scan of a full TreeLing charge its modeled
+    /// block cost in O(1) instead of walking every word.
+    free: usize,
     /// Scan start position (slot index).
     head: usize,
+}
+
+impl BvTreeLing {
+    fn new(len: usize) -> Self {
+        let mut words = vec![0u64; len.div_ceil(64).max(1)];
+        for b in len..words.len() * 64 {
+            words[b / 64] |= 1 << (b % 64);
+        }
+        BvTreeLing {
+            words,
+            len,
+            free: len,
+            head: 0,
+        }
+    }
+
+    fn occupy(&mut self, idx: usize) {
+        debug_assert!(!self.is_occupied(idx));
+        self.words[idx / 64] |= 1 << (idx % 64);
+        self.free -= 1;
+    }
+
+    fn release(&mut self, idx: usize) {
+        debug_assert!(self.is_occupied(idx));
+        self.words[idx / 64] &= !(1 << (idx % 64));
+        self.free += 1;
+    }
+
+    fn is_occupied(&self, idx: usize) -> bool {
+        self.words[idx / 64] >> (idx % 64) & 1 == 1
+    }
 }
 
 /// Outcome of a bit-vector page mapping.
@@ -94,9 +131,11 @@ pub struct BvAllocator {
     geometry: TreeLingGeometry,
     variant: BvVariant,
     controller: DomainController,
-    treelings: HashMap<TreeLingId, BvTreeLing>,
-    page_map: HashMap<PageNum, LeafSlot>,
-    page_owner: HashMap<PageNum, DomainId>,
+    // Fast deterministic hashing, same rationale as `Forest`: `slot_of`
+    // runs on every LLC miss and the page map is merged with ownership so
+    // an alloc/free touches one large table, not two.
+    treelings: FxHashMap<TreeLingId, BvTreeLing>,
+    pages: FxHashMap<PageNum, (LeafSlot, DomainId)>,
     /// Slots leaked by BV-v1 (freed but never reallocatable).
     leaked_slots: u64,
     /// Total bit-vector blocks scanned (cost accounting).
@@ -110,9 +149,8 @@ impl BvAllocator {
             geometry,
             variant,
             controller: DomainController::new(treeling_count),
-            treelings: HashMap::new(),
-            page_map: HashMap::new(),
-            page_owner: HashMap::new(),
+            treelings: FxHashMap::default(),
+            pages: FxHashMap::default(),
             leaked_slots: 0,
             total_blocks_scanned: 0,
         }
@@ -135,7 +173,7 @@ impl BvAllocator {
 
     /// The slot mapping `page`, if any.
     pub fn slot_of(&self, page: PageNum) -> Option<LeafSlot> {
-        self.page_map.get(&page).copied()
+        self.pages.get(&page).map(|&(slot, _)| slot)
     }
 
     fn slot_from_index(&self, treeling: TreeLingId, slot_index: usize) -> LeafSlot {
@@ -154,20 +192,37 @@ impl BvAllocator {
         slot.node.index as usize * self.geometry.arity as usize + slot.slot as usize
     }
 
-    /// Scans one TreeLing from `start`; returns (slot index, blocks scanned).
-    fn scan_from(tl: &mut BvTreeLing, start: usize) -> (Option<usize>, u64) {
-        let start = start.min(tl.bits.len());
-        let mut found = None;
-        let mut last = start;
-        for i in start..tl.bits.len() {
-            last = i;
-            if !tl.bits[i] {
-                found = Some(i);
-                break;
-            }
+    /// Scans one TreeLing from `start`; returns (slot index, blocks
+    /// scanned). The modeled cost — bits examined up to and including the
+    /// first free slot, or the whole remainder on a fruitless scan — is
+    /// what the paper charges the naive allocator with; the host-side
+    /// search itself runs word-wise (64 slots per step) with an O(1)
+    /// shortcut for full TreeLings.
+    fn scan_from(tl: &BvTreeLing, start: usize) -> (Option<usize>, u64) {
+        let start = start.min(tl.len);
+        let exhausted = |examined: u64| (None, examined.div_ceil(BITS_PER_BLOCK).max(1));
+        if start == tl.len {
+            return exhausted(1);
         }
-        let bits_examined = (last - start + 1) as u64;
-        (found, bits_examined.div_ceil(BITS_PER_BLOCK).max(1))
+        if tl.free == 0 {
+            return exhausted((tl.len - start) as u64);
+        }
+        let mut w = start / 64;
+        // Mask off bits below `start`; padding past `len` is pre-set.
+        let mut zeros = !tl.words[w] & (!0u64 << (start % 64));
+        loop {
+            if zeros != 0 {
+                let idx = w * 64 + zeros.trailing_zeros() as usize;
+                let examined = (idx - start + 1) as u64;
+                return (Some(idx), examined.div_ceil(BITS_PER_BLOCK).max(1));
+            }
+            w += 1;
+            if w == tl.words.len() {
+                // Free slots exist only below `start`.
+                return exhausted((tl.len - start) as u64);
+            }
+            zeros = !tl.words[w];
+        }
     }
 
     /// Maps a page, scanning for a free leaf slot.
@@ -186,7 +241,7 @@ impl BvAllocator {
         domain: DomainId,
         page: PageNum,
     ) -> Result<BvMapOutcome, StarvationError> {
-        assert!(!self.page_map.contains_key(&page), "page double-mapped");
+        assert!(!self.pages.contains_key(&page), "page double-mapped");
         let mut blocks = 0u64;
         let owned: Vec<TreeLingId> = self.controller.treelings_of(domain).to_vec();
 
@@ -210,12 +265,11 @@ impl BvAllocator {
             let (found, scanned) = Self::scan_from(tl, start);
             blocks += scanned;
             if let Some(idx) = found {
-                tl.bits[idx] = true;
+                tl.occupy(idx);
                 tl.head = idx + 1;
                 self.total_blocks_scanned += blocks;
                 let slot = self.slot_from_index(tid, idx);
-                self.page_map.insert(page, slot);
-                self.page_owner.insert(page, domain);
+                self.pages.insert(page, (slot, domain));
                 return Ok(BvMapOutcome {
                     slot,
                     blocks_scanned: blocks,
@@ -226,21 +280,15 @@ impl BvAllocator {
 
         // Grow.
         let tid = self.controller.assign(domain)?;
-        self.treelings.insert(
-            tid,
-            BvTreeLing {
-                bits: vec![false; self.geometry.leaf_capacity() as usize],
-                head: 0,
-            },
-        );
+        self.treelings
+            .insert(tid, BvTreeLing::new(self.geometry.leaf_capacity() as usize));
         let tl = self.treelings.get_mut(&tid).expect("just inserted");
-        tl.bits[0] = true;
+        tl.occupy(0);
         tl.head = 1;
         blocks += 1;
         self.total_blocks_scanned += blocks;
         let slot = self.slot_from_index(tid, 0);
-        self.page_map.insert(page, slot);
-        self.page_owner.insert(page, domain);
+        self.pages.insert(page, (slot, domain));
         Ok(BvMapOutcome {
             slot,
             blocks_scanned: blocks,
@@ -258,21 +306,17 @@ impl BvAllocator {
         domain: DomainId,
         page: PageNum,
     ) -> Result<BvUnmapOutcome, ForestError> {
-        let slot = *self
-            .page_map
-            .get(&page)
-            .ok_or(ForestError::NotMapped(page))?;
-        if self.page_owner.get(&page) != Some(&domain) {
+        let (slot, owner) = *self.pages.get(&page).ok_or(ForestError::NotMapped(page))?;
+        if owner != domain {
             return Err(ForestError::WrongDomain(page));
         }
-        self.page_map.remove(&page);
-        self.page_owner.remove(&page);
+        self.pages.remove(&page);
 
         let idx = self.slot_to_index(slot);
         let current = self.controller.treelings_of(domain).last().copied();
         let in_current = current == Some(slot.treeling);
         let tl = self.treelings.get_mut(&slot.treeling).expect("treeling");
-        tl.bits[idx] = false;
+        tl.release(idx);
 
         let leaked = match self.variant {
             BvVariant::V1 => {
@@ -300,16 +344,7 @@ impl BvAllocator {
 
     /// Destroys a domain, recycling its TreeLings.
     pub fn destroy_domain(&mut self, domain: DomainId) {
-        let pages: Vec<PageNum> = self
-            .page_owner
-            .iter()
-            .filter(|(_, d)| **d == domain)
-            .map(|(p, _)| *p)
-            .collect();
-        for p in pages {
-            self.page_map.remove(&p);
-            self.page_owner.remove(&p);
-        }
+        self.pages.retain(|_, &mut (_, d)| d != domain);
         for tid in self.controller.treelings_of(domain).to_vec() {
             self.treelings.remove(&tid);
         }

@@ -215,6 +215,13 @@ impl ForestStats {
     }
 }
 
+/// Mapping record for one page: where it is verified and who owns it.
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    slot: LeafSlot,
+    domain: DomainId,
+}
+
 /// The TreeLing forest.
 #[derive(Debug)]
 pub struct Forest {
@@ -226,9 +233,11 @@ pub struct Forest {
     // timing-visible ordering depends on map iteration, so the hasher swap
     // cannot perturb simulation results.
     treelings: FxHashMap<TreeLingId, TreeLingState>,
-    /// Authoritative page → slot map (the LMM contents).
-    page_map: FxHashMap<PageNum, LeafSlot>,
-    page_owner: FxHashMap<PageNum, DomainId>,
+    /// Authoritative page → (slot, owner) map (the LMM contents). One map
+    /// instead of parallel slot/owner maps: a page alloc or free touches a
+    /// multi-MiB table once, not twice, which matters because the footprint
+    /// ramp of a large mix performs hundreds of thousands of them.
+    pages: FxHashMap<PageNum, PageEntry>,
     mapped_per_domain: FxHashMap<DomainId, u64>,
     stats: ForestStats,
     /// Recycled NFL-op buffers: outcome `Vec`s handed back through
@@ -246,8 +255,7 @@ impl Forest {
             controller: DomainController::new(cfg.treeling_count),
             cfg,
             treelings: FxHashMap::default(),
-            page_map: FxHashMap::default(),
-            page_owner: FxHashMap::default(),
+            pages: FxHashMap::default(),
             mapped_per_domain: FxHashMap::default(),
             stats: ForestStats {
                 util_min: 1.0,
@@ -302,7 +310,7 @@ impl Forest {
 
     /// The slot currently verifying `page`.
     pub fn slot_of(&self, page: PageNum) -> Option<LeafSlot> {
-        self.page_map.get(&page).copied()
+        self.pages.get(&page).map(|e| e.slot)
     }
 
     /// The level a page is mapped at (Invert shortens paths by raising it).
@@ -697,8 +705,8 @@ impl Forest {
 
     /// Establishes the parent chain for `slot`'s node (Invert/Pro). May
     /// displace pages occupying ancestor slots; displaced pages are
-    /// re-mapped by the caller. Returns displaced pages.
-    fn ensure_parent_chain(&mut self, slot: LeafSlot) -> Vec<PageNum> {
+    /// re-mapped by the caller. Returns displaced pages with their owners.
+    fn ensure_parent_chain(&mut self, slot: LeafSlot) -> Vec<(PageNum, DomainId)> {
         let mut displaced = Vec::new();
         let mut node = slot.node;
         while let Some(parent) = self.cfg.geometry.parent(node) {
@@ -717,9 +725,9 @@ impl Forest {
                     // Figure 12: the occupying page's hash moves down into
                     // the newly opened child; the slot becomes a parent.
                     self.set_slot_state(pslot, SlotContent::Parent);
-                    self.page_map.remove(&q);
+                    let e = self.pages.remove(&q).expect("displaced page is mapped");
                     self.bump_mapped(pslot.treeling, -1);
-                    displaced.push(q);
+                    displaced.push((q, e.domain));
                     self.stats.conversions += 1;
                 }
             }
@@ -743,10 +751,7 @@ impl Forest {
         domain: DomainId,
         page: PageNum,
     ) -> Result<MapOutcome, StarvationError> {
-        assert!(
-            !self.page_map.contains_key(&page),
-            "page {page} double-mapped"
-        );
+        assert!(!self.pages.contains_key(&page), "page {page} double-mapped");
         let mut ops = self.take_ops();
         let mut new_treeling = false;
 
@@ -779,23 +784,28 @@ impl Forest {
             // Re-map displaced pages. Each displaced page takes the next
             // free slot — in Figure 12 that is precisely the first slot of
             // the newly opened child node.
-            for q in displaced {
+            for (q, qdomain) in displaced {
                 let qslot = self
                     .alloc_regular(domain, &mut ops)
                     .expect("opened child provides slots for displaced pages");
                 let more = self.ensure_parent_chain(qslot);
                 debug_assert!(more.is_empty(), "displacement must not cascade");
                 self.set_slot_state(qslot, SlotContent::Page(q));
-                self.page_map.insert(q, qslot);
+                self.pages.insert(
+                    q,
+                    PageEntry {
+                        slot: qslot,
+                        domain: qdomain,
+                    },
+                );
                 self.bump_mapped(qslot.treeling, 1);
                 remapped.push(q);
             }
         }
 
         self.set_slot_state(slot, SlotContent::Page(page));
-        self.page_map.insert(page, slot);
+        self.pages.insert(page, PageEntry { slot, domain });
         self.bump_mapped(slot.treeling, 1);
-        self.page_owner.insert(page, domain);
         *self.mapped_per_domain.entry(domain).or_insert(0) += 1;
 
         Ok(MapOutcome {
@@ -817,15 +827,15 @@ impl Forest {
         domain: DomainId,
         page: PageNum,
     ) -> Result<UnmapOutcome, ForestError> {
-        let slot = *self
-            .page_map
-            .get(&page)
+        let e = self
+            .pages
+            .remove(&page)
             .ok_or(ForestError::NotMapped(page))?;
-        if self.page_owner.get(&page) != Some(&domain) {
+        if e.domain != domain {
+            self.pages.insert(page, e);
             return Err(ForestError::WrongDomain(page));
         }
-        self.page_map.remove(&page);
-        self.page_owner.remove(&page);
+        let slot = e.slot;
         *self.mapped_per_domain.entry(domain).or_insert(1) -= 1;
         self.set_slot_state(slot, SlotContent::Free);
         self.bump_mapped(slot.treeling, -1);
@@ -937,8 +947,9 @@ impl Forest {
         if self.cfg.variant != IvVariant::Pro {
             return None;
         }
-        let from = self.slot_of(page)?;
-        if self.page_owner.get(&page) != Some(&domain) || self.in_hot_region(from.node) {
+        let e = *self.pages.get(&page)?;
+        let from = e.slot;
+        if e.domain != domain || self.in_hot_region(from.node) {
             return None;
         }
         let mut ops = self.take_ops();
@@ -990,7 +1001,7 @@ impl Forest {
             self.stats.untracked_slots += 1;
         }
         self.set_slot_state(to, SlotContent::Page(page));
-        self.page_map.insert(page, to);
+        self.pages.get_mut(&page).expect("page stays mapped").slot = to;
         self.bump_mapped(to.treeling, 1);
         self.stats.promotions += 1;
         Some(MigrateOutcome {
@@ -1002,8 +1013,9 @@ impl Forest {
 
     /// Migrates `page` back to the regular region (demotion).
     pub fn demote_page(&mut self, domain: DomainId, page: PageNum) -> Option<MigrateOutcome> {
-        let from = self.slot_of(page)?;
-        if self.page_owner.get(&page) != Some(&domain) || !self.in_hot_region(from.node) {
+        let e = *self.pages.get(&page)?;
+        let from = e.slot;
+        if e.domain != domain || !self.in_hot_region(from.node) {
             return None;
         }
         let mut ops = self.take_ops();
@@ -1024,7 +1036,7 @@ impl Forest {
             self.stats.untracked_slots += 1;
         }
         self.set_slot_state(to, SlotContent::Page(page));
-        self.page_map.insert(page, to);
+        self.pages.get_mut(&page).expect("page stays mapped").slot = to;
         self.bump_mapped(to.treeling, 1);
         self.stats.demotions += 1;
         Some(MigrateOutcome {
@@ -1040,16 +1052,7 @@ impl Forest {
 
     /// Destroys a domain: unmaps its pages and recycles its TreeLings.
     pub fn destroy_domain(&mut self, domain: DomainId) {
-        let pages: Vec<PageNum> = self
-            .page_owner
-            .iter()
-            .filter(|(_, d)| **d == domain)
-            .map(|(p, _)| *p)
-            .collect();
-        for p in pages {
-            self.page_map.remove(&p);
-            self.page_owner.remove(&p);
-        }
+        self.pages.retain(|_, e| e.domain != domain);
         for tid in self.controller.treelings_of(domain).to_vec() {
             self.treelings.remove(&tid);
         }
@@ -1067,8 +1070,8 @@ impl Forest {
     /// security property §VIII rests on; tests call it after stress runs.
     pub fn verify_isolation(&self) -> bool {
         let mut node_owner: FxHashMap<(TreeLingId, TlNode), DomainId> = FxHashMap::default();
-        for (page, _) in self.page_map.iter() {
-            let domain = self.page_owner[page];
+        for (page, e) in self.pages.iter() {
+            let domain = e.domain;
             if let Some(path) = self.verification_path(*page) {
                 for node in path {
                     match node_owner.get(&node) {

@@ -93,9 +93,116 @@ struct Entry {
 /// assert!(t.record(p).is_empty());
 /// assert!(t.record(p).contains(&HotEvent::Promote(p))); // third access
 /// ```
+/// Minimal open-addressed page→entry index: linear probing with
+/// backward-shift deletion, slots holding `entry_index + 1` (0 = empty).
+/// Keys are not duplicated here — a probe compares against
+/// `entries[idx].page` — so the whole table for a 128-entry tracker is one
+/// KiB and stays L1-resident. Sized to ≤50% load, which keeps probe chains
+/// short and makes backward-shift deletion cheap.
+#[derive(Debug, Clone)]
+struct PageIndex {
+    slots: Box<[u32]>,
+    mask: usize,
+}
+
+impl PageIndex {
+    fn new(capacity: usize) -> Self {
+        let len = (capacity * 2).next_power_of_two().max(4);
+        PageIndex {
+            slots: vec![0u32; len].into_boxed_slice(),
+            mask: len - 1,
+        }
+    }
+
+    /// Fibonacci-hash home bucket; multiplicative mixing is enough for the
+    /// short ≤50%-load probe chains this table keeps.
+    #[inline]
+    fn bucket(&self, page: PageNum) -> usize {
+        let h = page.index().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & self.mask
+    }
+
+    #[inline]
+    fn get(&self, page: PageNum, entries: &[Entry]) -> Option<u32> {
+        let mut i = self.bucket(page);
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                return None;
+            }
+            if entries[(s - 1) as usize].page == page {
+                return Some(s - 1);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts a not-present page; the caller guarantees no duplicate.
+    fn insert(&mut self, page: PageNum, idx: u32) {
+        let mut i = self.bucket(page);
+        while self.slots[i] != 0 {
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = idx + 1;
+    }
+
+    /// Removes a present page by backward-shifting the probe chain, so no
+    /// tombstones accumulate and `get` can stop at the first empty slot.
+    fn remove(&mut self, page: PageNum, entries: &[Entry]) {
+        let mut i = self.bucket(page);
+        while {
+            let s = self.slots[i];
+            debug_assert_ne!(s, 0, "removing an absent page");
+            entries[(s - 1) as usize].page != page
+        } {
+            i = (i + 1) & self.mask;
+        }
+        let mut j = i;
+        'shift: loop {
+            self.slots[i] = 0;
+            loop {
+                j = (j + 1) & self.mask;
+                let s = self.slots[j];
+                if s == 0 {
+                    break 'shift;
+                }
+                let home = self.bucket(entries[(s - 1) as usize].page);
+                // An element whose home lies cyclically in (i, j] is
+                // already as close to home as it can get; otherwise it
+                // slides back into the vacated slot.
+                let stays = if i <= j {
+                    i < home && home <= j
+                } else {
+                    home <= j || home > i
+                };
+                if !stays {
+                    self.slots[i] = s;
+                    i = j;
+                    break;
+                }
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct HotpageTracker {
     entries: Vec<Entry>,
+    /// O(1) hit lookup: page → index into `entries`. The table used to be
+    /// scanned linearly on every access, which put an O(capacity) walk on
+    /// the Pro data-access critical path; the index keeps hits
+    /// constant-time and lets misses skip straight to victim selection.
+    index: PageIndex,
+    /// Tournament (segment) tree of `(counter, seq)` keys over the entry
+    /// slots: `tree[leaf_base + i]` mirrors entry `i`'s live key and every
+    /// internal node holds the minimum of its children, so the root names
+    /// the entry the old first-minimum scan selected (`seq` values are
+    /// unique, making the minimum unambiguous). A counter bump, slot reuse,
+    /// or interval clear refreshes one leaf-to-root path — a handful of
+    /// branch-predictable array steps, with no stale keys to churn through.
+    tree: Vec<(u32, u64, u32)>,
+    /// First leaf index in `tree` (`capacity` rounded up to a power of two).
+    leaf_base: usize,
     capacity: usize,
     counter_max: u32,
     threshold: u32,
@@ -117,8 +224,14 @@ impl HotpageTracker {
         assert!(capacity > 0);
         assert!((1..=31).contains(&counter_bits));
         assert!(threshold > 0);
+        let leaf_base = capacity.next_power_of_two();
         HotpageTracker {
             entries: Vec::with_capacity(capacity),
+            index: PageIndex::new(capacity),
+            // Empty leaves hold the maximal key; victim selection only runs
+            // on a full table, so a sentinel never wins the tournament.
+            tree: vec![(u32::MAX, u64::MAX, u32::MAX); 2 * leaf_base],
+            leaf_base,
             capacity,
             counter_max: (1 << counter_bits) - 1,
             threshold,
@@ -128,39 +241,44 @@ impl HotpageTracker {
         }
     }
 
+    /// Publishes entry `idx`'s live `(counter, seq)` key and refreshes the
+    /// tournament minima on its leaf-to-root path.
+    #[inline]
+    fn update_key(&mut self, idx: u32, counter: u32, seq: u64) {
+        let mut i = self.leaf_base + idx as usize;
+        self.tree[i] = (counter, seq, idx);
+        while i > 1 {
+            i >>= 1;
+            self.tree[i] = self.tree[2 * i].min(self.tree[2 * i + 1]);
+        }
+    }
+
     /// Records an access to `page`, returning any promotion/demotion events.
     pub fn record(&mut self, page: PageNum) -> HotEvents {
         let mut events = HotEvents::default();
         self.accesses_since_clear += 1;
         if self.accesses_since_clear >= self.clear_interval {
             self.accesses_since_clear = 0;
-            for e in &mut self.entries {
+            // Reset every counter, then rebuild the tournament bottom-up in
+            // one pass rather than replaying per-leaf updates.
+            for (i, e) in self.entries.iter_mut().enumerate() {
                 e.counter = 0;
+                self.tree[self.leaf_base + i] = (0, e.seq, i as u32);
+            }
+            for i in (1..self.leaf_base).rev() {
+                self.tree[i] = self.tree[2 * i].min(self.tree[2 * i + 1]);
             }
         }
 
-        // One scan serves both the lookup and the replacement-victim
-        // search (smallest counter, ties toward the oldest entry): a hit
-        // short-circuits, a miss already knows its victim. Strict `<` keeps
-        // the first minimum, matching what `min_by_key` selected.
-        let mut hit_idx = None;
-        let mut victim_idx = 0usize;
-        let mut victim_key = (u32::MAX, u64::MAX);
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.page == page {
-                hit_idx = Some(i);
-                break;
+        if let Some(i) = self.index.get(page, &self.entries) {
+            let e = &mut self.entries[i as usize];
+            let bumped = (e.counter + 1).min(self.counter_max);
+            if bumped != e.counter {
+                e.counter = bumped;
+                let seq = e.seq;
+                self.update_key(i, bumped, seq);
             }
-            let key = (e.counter, e.seq);
-            if key < victim_key {
-                victim_key = key;
-                victim_idx = i;
-            }
-        }
-
-        if let Some(i) = hit_idx {
-            let e = &mut self.entries[i];
-            e.counter = (e.counter + 1).min(self.counter_max);
+            let e = &mut self.entries[i as usize];
             if !e.promoted && e.counter >= self.threshold {
                 e.promoted = true;
                 events.push(HotEvent::Promote(page));
@@ -179,17 +297,25 @@ impl HotpageTracker {
             new_entry.promoted = true;
             events.push(HotEvent::Promote(page));
         }
-        if self.entries.len() < self.capacity {
+        let idx = if self.entries.len() < self.capacity {
+            let idx = self.entries.len() as u32;
             self.entries.push(new_entry);
+            idx
         } else {
-            // Replace the single-scan victim computed above.
-            let idx = victim_idx;
-            let victim = self.entries[idx];
+            // Replace the smallest `(counter, seq)` — the root of the
+            // tournament, which is exactly the entry the pre-index
+            // first-minimum scan picked, since `seq` values are unique.
+            let idx = self.tree[1].2;
+            let victim = self.entries[idx as usize];
             if victim.promoted {
                 events.push(HotEvent::Demote(victim.page));
             }
-            self.entries[idx] = new_entry;
-        }
+            self.index.remove(victim.page, &self.entries);
+            self.entries[idx as usize] = new_entry;
+            idx
+        };
+        self.update_key(idx, 1, self.next_seq);
+        self.index.insert(page, idx);
         events
     }
 
@@ -215,6 +341,167 @@ mod tests {
 
     fn p(i: u64) -> PageNum {
         PageNum::new(i)
+    }
+
+    /// The pre-index implementation, kept verbatim as a differential
+    /// oracle: one linear scan serves both the hit lookup and the
+    /// replacement-victim search (smallest counter, ties toward the oldest
+    /// entry; strict `<` keeps the first minimum).
+    mod reference {
+        use super::super::{Entry, HotEvent, HotEvents};
+        use ivl_sim_core::addr::PageNum;
+
+        pub struct RefTracker {
+            entries: Vec<Entry>,
+            capacity: usize,
+            counter_max: u32,
+            threshold: u32,
+            clear_interval: u64,
+            accesses_since_clear: u64,
+            next_seq: u64,
+        }
+
+        impl RefTracker {
+            pub fn new(
+                capacity: usize,
+                counter_bits: u32,
+                threshold: u32,
+                clear_interval: u64,
+            ) -> Self {
+                RefTracker {
+                    entries: Vec::with_capacity(capacity),
+                    capacity,
+                    counter_max: (1 << counter_bits) - 1,
+                    threshold,
+                    clear_interval: clear_interval.max(1),
+                    accesses_since_clear: 0,
+                    next_seq: 0,
+                }
+            }
+
+            pub fn record(&mut self, page: PageNum) -> HotEvents {
+                let mut events = HotEvents::default();
+                self.accesses_since_clear += 1;
+                if self.accesses_since_clear >= self.clear_interval {
+                    self.accesses_since_clear = 0;
+                    for e in &mut self.entries {
+                        e.counter = 0;
+                    }
+                }
+                let mut hit_idx = None;
+                let mut victim_idx = 0usize;
+                let mut victim_key = (u32::MAX, u64::MAX);
+                for (i, e) in self.entries.iter().enumerate() {
+                    if e.page == page {
+                        hit_idx = Some(i);
+                        break;
+                    }
+                    let key = (e.counter, e.seq);
+                    if key < victim_key {
+                        victim_key = key;
+                        victim_idx = i;
+                    }
+                }
+                if let Some(i) = hit_idx {
+                    let e = &mut self.entries[i];
+                    e.counter = (e.counter + 1).min(self.counter_max);
+                    if !e.promoted && e.counter >= self.threshold {
+                        e.promoted = true;
+                        events.push(HotEvent::Promote(page));
+                    }
+                    return events;
+                }
+                self.next_seq += 1;
+                let mut new_entry = Entry {
+                    page,
+                    counter: 1,
+                    promoted: false,
+                    seq: self.next_seq,
+                };
+                if new_entry.counter >= self.threshold {
+                    new_entry.promoted = true;
+                    events.push(HotEvent::Promote(page));
+                }
+                if self.entries.len() < self.capacity {
+                    self.entries.push(new_entry);
+                } else {
+                    let idx = victim_idx;
+                    let victim = self.entries[idx];
+                    if victim.promoted {
+                        events.push(HotEvent::Demote(victim.page));
+                    }
+                    self.entries[idx] = new_entry;
+                }
+                events
+            }
+
+            pub fn is_hot(&self, page: PageNum) -> bool {
+                self.entries.iter().any(|e| e.page == page && e.promoted)
+            }
+
+            pub fn len(&self) -> usize {
+                self.entries.len()
+            }
+        }
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The indexed tracker must emit the exact event stream of the
+    /// linear-scan oracle — same promotions, same demotions (so same
+    /// victims), same hot set — across hit-heavy, miss-heavy, saturating,
+    /// and interval-clearing regimes.
+    #[test]
+    fn differential_against_reference_implementation() {
+        // (capacity, counter_bits, threshold, clear_interval, universe)
+        let configs = [
+            (8usize, 3u32, 3u32, 64u64, 32u64), // hit-heavy + saturation
+            (16, 8, 4, 97, 10_000),             // miss-heavy (bench regime)
+            (4, 2, 1, 1, 16),                   // clears every access
+            (128, 8, 16, 1_000, 512),           // default-shaped geometry
+            (1, 4, 2, 50, 8),                   // single-entry churn
+        ];
+        for (ci, &(cap, bits, thr, clear, universe)) in configs.iter().enumerate() {
+            let mut new = HotpageTracker::new(cap, bits, thr, clear);
+            let mut oracle = reference::RefTracker::new(cap, bits, thr, clear);
+            let mut rng = 0xD1F0_0000u64 + ci as u64;
+            for op in 0..50_000u64 {
+                let r = splitmix64(&mut rng);
+                // Skew toward a small hot set half the time so promotions
+                // actually fire alongside the churn.
+                let page = if r & 1 == 0 {
+                    p(r % 4)
+                } else {
+                    p((r >> 1) % universe)
+                };
+                let got = new.record(page);
+                let want = oracle.record(page);
+                assert_eq!(
+                    got, want,
+                    "config {ci}: events diverged at op {op} on page {page:?}"
+                );
+                assert_eq!(
+                    new.len(),
+                    oracle.len(),
+                    "config {ci}: len diverged at op {op}"
+                );
+                if op % 997 == 0 {
+                    for q in 0..universe.min(64) {
+                        assert_eq!(
+                            new.is_hot(p(q)),
+                            oracle.is_hot(p(q)),
+                            "config {ci}: hot set diverged at op {op} for page {q}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

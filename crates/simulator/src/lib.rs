@@ -32,9 +32,11 @@
 //! assert!(result.weighted_ipc() > 0.0);
 //! ```
 
+pub mod calendar;
 pub mod system;
 
 pub use system::{
-    run_mix, run_mix_observed, run_mix_with_config, CoreResult, MixResult, ObservedRun, RunConfig,
+    run_mix, run_mix_observed, run_mix_observed_with_scheduler, run_mix_with_config,
+    run_mix_with_scheduler, CoreResult, MixResult, ObservedRun, RunConfig, SchedulerKind,
     SchemeKind,
 };

@@ -1,5 +1,6 @@
 //! The multicore engine and per-mix runner.
 
+use crate::calendar::EventCalendar;
 use ivl_cache::randomized::RandomizedCache;
 use ivl_cache::set_assoc::SetAssocCache;
 use ivl_cache::CacheModel;
@@ -134,6 +135,25 @@ impl SchemeInstance {
             SchemeInstance::None(s) => s.stats(),
         }
     }
+}
+
+/// How the engine picks the next core to execute.
+///
+/// Both schedulers realize the same loose global ordering — the
+/// least-advanced eligible core executes next, ties broken by lowest core
+/// index — and are pinned bit-identical against each other by regression
+/// tests. The calendar is the default: it pops the next core in O(log n)
+/// from an [`EventCalendar`] instead of rescanning every core per event,
+/// and the same calendar is the insertion point for deferred model events
+/// (bank-free, bus-free) when the engine grows beyond core granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Binary-heap event calendar keyed on core-ready cycles.
+    #[default]
+    EventCalendar,
+    /// The pre-calendar linear `min_by_key` scan, kept as the ordering
+    /// oracle for determinism tests.
+    LinearScan,
 }
 
 /// Run lengths and seed of one simulation.
@@ -372,6 +392,40 @@ pub fn run_mix_observed(
     cfg: &SystemConfig,
     obs_cfg: &ObsConfig,
 ) -> ObservedRun {
+    run_mix_observed_with_scheduler(
+        mix,
+        scheme_kind,
+        run,
+        cfg,
+        obs_cfg,
+        SchedulerKind::default(),
+    )
+}
+
+/// Runs one mix under one scheme with an explicit core scheduler (the
+/// ordering-determinism tests pin [`SchedulerKind::EventCalendar`] against
+/// [`SchedulerKind::LinearScan`] this way; everything else uses the
+/// default).
+pub fn run_mix_with_scheduler(
+    mix: &Mix,
+    scheme_kind: SchemeKind,
+    run: &RunConfig,
+    scheduler: SchedulerKind,
+) -> MixResult {
+    let cfg = SystemConfig::default();
+    run_mix_observed_with_scheduler(mix, scheme_kind, run, &cfg, &ObsConfig::off(), scheduler)
+        .result
+}
+
+/// [`run_mix_observed`] with an explicit [`SchedulerKind`].
+pub fn run_mix_observed_with_scheduler(
+    mix: &Mix,
+    scheme_kind: SchemeKind,
+    run: &RunConfig,
+    cfg: &SystemConfig,
+    obs_cfg: &ObsConfig,
+    scheduler: SchedulerKind,
+) -> ObservedRun {
     let obs = Obs::from_config(obs_cfg);
     // Cached enabled flags: the hot loop branches on plain bools instead of
     // re-querying the handles per event.
@@ -446,23 +500,47 @@ pub fn run_mix_observed(
     // Scratch buffer for L2→LLC write-backs, reused every iteration so the
     // hot loop never allocates.
     let mut llc_writebacks: Vec<u64> = Vec::new();
+    // Hoisted out of the event loop: one environment lookup per run, not
+    // one per event (std::env::var takes a process-wide lock and scans the
+    // environment block).
+    let debug_warm = std::env::var("IVL_DEBUG_WARM").is_ok();
+    // Event calendar over core-ready cycles: each eligible core holds
+    // exactly one entry, keyed `(ready cycle, core index)`, so a pop is
+    // the least-advanced core with lowest-index tie-breaking — the same
+    // loose global ordering the linear scan produced, in O(log n).
+    let mut calendar: EventCalendar<usize> = EventCalendar::with_capacity(cores.len());
+    if scheduler == SchedulerKind::EventCalendar {
+        for (i, c) in cores.iter().enumerate() {
+            if c.accesses < measure_total {
+                calendar.schedule(c.now, i as u64, i);
+            }
+        }
+    }
 
     loop {
         // Least-advanced core executes next (loose global ordering).
-        let (idx, _) = cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.accesses < measure_total)
-            .min_by_key(|(_, c)| c.now)
-            .map(|(i, c)| (i, c.now))
-            .unwrap_or((usize::MAX, 0));
-        if idx == usize::MAX {
-            break;
-        }
+        let idx = match scheduler {
+            SchedulerKind::EventCalendar => match calendar.pop() {
+                Some((_, i)) => i,
+                None => break,
+            },
+            SchedulerKind::LinearScan => {
+                match cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.accesses < measure_total)
+                    .min_by_key(|(_, c)| c.now)
+                    .map(|(i, _)| i)
+                {
+                    Some(i) => i,
+                    None => break,
+                }
+            }
+        };
 
         // Flip to the measurement window once every core leaves warmup and
         // its footprint is resident.
-        if std::env::var("IVL_DEBUG_WARM").is_ok() && !measuring {
+        if debug_warm && !measuring {
             let states: Vec<String> = cores
                 .iter()
                 .map(|c| format!("{}:{}", c.benchmark, c.accesses))
@@ -499,80 +577,72 @@ pub fn run_mix_observed(
             let _gen_timing = prof_on.then(|| obs.profiler.scope(Phase::TraceGen));
             gens[core.gen].next_event()
         };
-        match event {
-            MemEvent::Access {
-                block,
-                is_write,
-                gap_instrs,
-            } => {
-                core.accesses += 1;
-                if measuring {
-                    core_accesses += 1;
-                }
-                core.instrs += gap_instrs;
-                core.now += (gap_instrs as f64 * core.inv_ipc) as Cycle;
+        // Labeled so the cache-hit early exits still fall through to the
+        // requeue below (a plain `continue` would skip rescheduling the
+        // core and stall the calendar).
+        'event: {
+            match event {
+                MemEvent::Access {
+                    block,
+                    is_write,
+                    gap_instrs,
+                } => {
+                    core.accesses += 1;
+                    if measuring {
+                        core_accesses += 1;
+                    }
+                    core.instrs += gap_instrs;
+                    core.now += (gap_instrs as f64 * core.inv_ipc) as Cycle;
 
-                // The trace models post-L1 traffic (see ivl-workloads):
-                // the first hierarchy level consulted is the private L2.
-                let key = block.index();
-                core.now += cfg.core.l2.hit_latency;
-                let l2 = {
-                    let _cache_timing = prof_on.then(|| obs.profiler.scope(Phase::CoreCache));
-                    core.l2.access(key, is_write)
-                };
-                if trace_on {
-                    obs.tracer.emit(
-                        core.now,
-                        "cache",
-                        Some(core.domain),
-                        Some(idx as u8),
-                        EventKind::CacheAccess {
-                            cache: CacheKind::L2,
-                            hit: l2.hit,
-                            evicted: l2.evicted.is_some(),
-                        },
-                    );
-                }
-                if l2.hit {
-                    continue;
-                }
-                llc_writebacks.clear();
-                if let Some(e) = l2.evicted.filter(|e| e.dirty) {
-                    llc_writebacks.push(e.key);
-                }
-                core.now += cfg.llc.cache.hit_latency - cfg.core.l2.hit_latency;
-                let llc_out = {
-                    let _cache_timing = prof_on.then(|| obs.profiler.scope(Phase::CoreCache));
-                    llc.access(key, is_write)
-                };
-                let llc_hit = llc_out.hit;
-                if trace_on {
-                    obs.tracer.emit(
-                        core.now,
-                        "cache",
-                        Some(core.domain),
-                        Some(idx as u8),
-                        EventKind::CacheAccess {
-                            cache: CacheKind::Llc,
-                            hit: llc_hit,
-                            evicted: llc_out.evicted.is_some(),
-                        },
-                    );
-                }
-                if let Some(e) = llc_out.evicted.filter(|e| e.dirty) {
-                    // LLC dirty eviction: secure write-back to memory.
-                    let _integrity_timing = prof_on.then(|| obs.profiler.scope(Phase::Integrity));
-                    scheme.as_subsystem().data_access(
-                        core.now,
-                        &mut dram,
-                        ivl_sim_core::addr::BlockAddr::new(e.key),
-                        core.domain,
-                        true,
-                    );
-                }
-                for wb in llc_writebacks.drain(..) {
-                    let out = llc.access(wb, true);
-                    if let Some(e) = out.evicted.filter(|e| e.dirty) {
+                    // The trace models post-L1 traffic (see ivl-workloads):
+                    // the first hierarchy level consulted is the private L2.
+                    let key = block.index();
+                    core.now += cfg.core.l2.hit_latency;
+                    let l2 = {
+                        let _cache_timing = prof_on.then(|| obs.profiler.scope(Phase::CoreCache));
+                        core.l2.access(key, is_write)
+                    };
+                    if trace_on {
+                        obs.tracer.emit(
+                            core.now,
+                            "cache",
+                            Some(core.domain),
+                            Some(idx as u8),
+                            EventKind::CacheAccess {
+                                cache: CacheKind::L2,
+                                hit: l2.hit,
+                                evicted: l2.evicted.is_some(),
+                            },
+                        );
+                    }
+                    if l2.hit {
+                        break 'event;
+                    }
+                    llc_writebacks.clear();
+                    if let Some(e) = l2.evicted.filter(|e| e.dirty) {
+                        llc_writebacks.push(e.key);
+                    }
+                    core.now += cfg.llc.cache.hit_latency - cfg.core.l2.hit_latency;
+                    let llc_out = {
+                        let _cache_timing = prof_on.then(|| obs.profiler.scope(Phase::CoreCache));
+                        llc.access(key, is_write)
+                    };
+                    let llc_hit = llc_out.hit;
+                    if trace_on {
+                        obs.tracer.emit(
+                            core.now,
+                            "cache",
+                            Some(core.domain),
+                            Some(idx as u8),
+                            EventKind::CacheAccess {
+                                cache: CacheKind::Llc,
+                                hit: llc_hit,
+                                evicted: llc_out.evicted.is_some(),
+                            },
+                        );
+                    }
+                    if let Some(e) = llc_out.evicted.filter(|e| e.dirty) {
+                        // LLC dirty eviction: secure write-back to memory.
                         let _integrity_timing =
                             prof_on.then(|| obs.profiler.scope(Phase::Integrity));
                         scheme.as_subsystem().data_access(
@@ -583,58 +653,84 @@ pub fn run_mix_observed(
                             true,
                         );
                     }
+                    for wb in llc_writebacks.drain(..) {
+                        let out = llc.access(wb, true);
+                        if let Some(e) = out.evicted.filter(|e| e.dirty) {
+                            let _integrity_timing =
+                                prof_on.then(|| obs.profiler.scope(Phase::Integrity));
+                            scheme.as_subsystem().data_access(
+                                core.now,
+                                &mut dram,
+                                ivl_sim_core::addr::BlockAddr::new(e.key),
+                                core.domain,
+                                true,
+                            );
+                        }
+                    }
+                    if llc_hit {
+                        break 'event;
+                    }
+                    // LLC miss: the secure memory path.
+                    let done = {
+                        let _integrity_timing =
+                            prof_on.then(|| obs.profiler.scope(Phase::Integrity));
+                        scheme.as_subsystem().data_access(
+                            core.now,
+                            &mut dram,
+                            block,
+                            core.domain,
+                            is_write,
+                        )
+                    };
+                    let latency = done.saturating_sub(core.now);
+                    if measuring && !is_write {
+                        llc_miss_reads += 1;
+                        read_latency_sum += latency;
+                    }
+                    // MLP hides service latency but not bandwidth queueing:
+                    // split the observed latency into a service portion (capped)
+                    // that overlaps across outstanding misses, and a queueing
+                    // remainder that throttles the core at full weight.
+                    let service = latency.min(400);
+                    let queueing = latency - service;
+                    core.now += queueing + (service as f64 / core.mlp) as Cycle;
                 }
-                if llc_hit {
-                    continue;
+                MemEvent::Alloc { page } => {
+                    let done =
+                        scheme
+                            .as_subsystem()
+                            .page_alloc(core.now, &mut dram, page, core.domain);
+                    // Page-fault handling overhead (identical across schemes)
+                    // plus the scheme's allocation work.
+                    core.now = done + 200;
+                    core.instrs += 50;
                 }
-                // LLC miss: the secure memory path.
-                let done = {
-                    let _integrity_timing = prof_on.then(|| obs.profiler.scope(Phase::Integrity));
-                    scheme.as_subsystem().data_access(
-                        core.now,
-                        &mut dram,
-                        block,
-                        core.domain,
-                        is_write,
-                    )
-                };
-                let latency = done.saturating_sub(core.now);
-                if measuring && !is_write {
-                    llc_miss_reads += 1;
-                    read_latency_sum += latency;
+                MemEvent::Dealloc { page } => {
+                    // TLB shootdown semantics: a freed page's lines are flushed
+                    // from the hierarchy, so no write-back of a dead page can
+                    // reach the integrity machinery later.
+                    for b in page.blocks() {
+                        core.l1.invalidate(b.index());
+                        core.l2.invalidate(b.index());
+                        llc.invalidate(b.index());
+                    }
+                    let done =
+                        scheme
+                            .as_subsystem()
+                            .page_dealloc(core.now, &mut dram, page, core.domain);
+                    core.now = done + 100;
+                    core.instrs += 30;
                 }
-                // MLP hides service latency but not bandwidth queueing:
-                // split the observed latency into a service portion (capped)
-                // that overlaps across outstanding misses, and a queueing
-                // remainder that throttles the core at full weight.
-                let service = latency.min(400);
-                let queueing = latency - service;
-                core.now += queueing + (service as f64 / core.mlp) as Cycle;
             }
-            MemEvent::Alloc { page } => {
-                let done = scheme
-                    .as_subsystem()
-                    .page_alloc(core.now, &mut dram, page, core.domain);
-                // Page-fault handling overhead (identical across schemes)
-                // plus the scheme's allocation work.
-                core.now = done + 200;
-                core.instrs += 50;
-            }
-            MemEvent::Dealloc { page } => {
-                // TLB shootdown semantics: a freed page's lines are flushed
-                // from the hierarchy, so no write-back of a dead page can
-                // reach the integrity machinery later.
-                for b in page.blocks() {
-                    core.l1.invalidate(b.index());
-                    core.l2.invalidate(b.index());
-                    llc.invalidate(b.index());
-                }
-                let done =
-                    scheme
-                        .as_subsystem()
-                        .page_dealloc(core.now, &mut dram, page, core.domain);
-                core.now = done + 100;
-                core.instrs += 30;
+        }
+
+        // Requeue the core at its new ready cycle; a core past its access
+        // budget simply leaves the calendar (mirroring the linear scan's
+        // eligibility filter).
+        if scheduler == SchedulerKind::EventCalendar {
+            let c = &cores[idx];
+            if c.accesses < measure_total {
+                calendar.schedule(c.now, idx as u64, idx);
             }
         }
     }

@@ -16,14 +16,14 @@
 #   3. lints                - cargo clippy --all-targets -D warnings
 #   4. build + test         - --locked --offline, per profile
 #   5. bench smoke + gate   - one quick ivl-bench micro run, diffed against
-#                             BENCH_pr5.json by bench_compare; fails on a
+#                             BENCH_pr6.json by bench_compare; fails on a
 #                             median regression beyond the threshold
-#                             (IVL_BENCH_GATE_THRESHOLD, default 1.0 = 2x)
+#                             (IVL_BENCH_GATE_THRESHOLD, default 1.5 = 2.5x)
 #   6. observability smoke  - obs_run writes + self-validates a trace
 #                             (JSONL) and stats registry (JSON) for a quick
 #                             mix and a short attack
 #   7. figures wall-clock   - all_figures --quick (release only) must finish
-#                             within IVL_FIGURES_BUDGET_SECS (default 900);
+#                             within IVL_FIGURES_BUDGET_SECS (default 300);
 #                             catches campaign-layer slowdowns the per-bench
 #                             medians cannot see
 
@@ -94,12 +94,16 @@ BENCH_JSON="$(pwd)/target/bench_quick.json"
 IVL_BENCH_QUICK=1 IVL_BENCH_JSON="$BENCH_JSON" \
     cargo bench -p ivl-bench --locked --offline
 
-step "bench regression gate (vs BENCH_pr5.json)"
-# Quick-mode medians on shared runners are noisy; the generous default
-# threshold catches order-of-magnitude mistakes, not percent-level drift.
+step "bench regression gate (vs BENCH_pr6.json)"
+# The snapshot holds full-mode medians while this leg runs quick mode, and
+# quick-mode medians on a shared runner straight after a long build are
+# systematically slower (short warm-up, hot machine) on top of being noisy
+# — observed skew reaches ~2x on the fastest benches. The generous default
+# threshold absorbs that; the gate catches order-of-magnitude mistakes,
+# not percent-level drift.
 cargo run -q -p ivl-bench --bin bench_compare --locked --offline -- \
-    BENCH_pr5.json "$BENCH_JSON" \
-    --threshold "${IVL_BENCH_GATE_THRESHOLD:-1.0}"
+    BENCH_pr6.json "$BENCH_JSON" \
+    --threshold "${IVL_BENCH_GATE_THRESHOLD:-1.5}"
 
 step "observability smoke (obs_run --quick)"
 # The binary validates its own artifacts (JSONL parses, event families
@@ -114,12 +118,14 @@ IVL_TRACE="$(pwd)/target/obs_trace.jsonl" \
 if [ "$PROFILE_FILTER" != "debug" ]; then
     step "figures wall-clock smoke (all_figures --quick)"
     # Runs the full figure campaign in quick mode against a wall-clock
-    # budget. The budget is generous (default 15 min) and env-overridable
-    # because CI cores vary; it exists to catch campaign-layer slowdowns —
-    # a serialized sweep, a lost parallel runner — that the micro-bench
-    # medians cannot see. Debug-only runs skip it: the budget is calibrated
-    # for the release profile.
-    FIGURES_BUDGET="${IVL_FIGURES_BUDGET_SECS:-900}"
+    # budget. The budget leaves generous headroom over the ~51 s a single
+    # quiet core needs after the event-calendar/dense-table work (it was
+    # 900 s before that landed) and stays env-overridable because CI cores
+    # vary; it exists to catch campaign-layer slowdowns — a serialized
+    # sweep, a lost parallel runner — that the micro-bench medians cannot
+    # see. Debug-only runs skip it: the budget is calibrated for the
+    # release profile.
+    FIGURES_BUDGET="${IVL_FIGURES_BUDGET_SECS:-300}"
     FIGURES_START=$(date +%s)
     cargo run -q --release -p ivl-bench --bin all_figures --locked --offline -- --quick
     FIGURES_ELAPSED=$(($(date +%s) - FIGURES_START))
