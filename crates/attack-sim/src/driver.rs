@@ -1,0 +1,271 @@
+//! Programmable attacker/victim driver over any integrity scheme.
+//!
+//! The original MetaLeak reproduction hardcoded one Evict+Reload loop
+//! against two schemes. This module factors the scheme-facing machinery
+//! out into a reusable [`SchemeDriver`] so *any* access program — the
+//! scripted RSA attack in [`crate::run_attack`] as well as the randomized
+//! programs of the leak-search fuzzer (`crates/leakfuzz`) — can drive any
+//! [`SchemeKind`] through the same primitives:
+//!
+//! * [`page_alloc`](SchemeDriver::page_alloc) / [`access_block`](SchemeDriver::access_block)
+//!   — OS allocation and data traffic with explicit inter-op gaps;
+//! * [`evict_page_meta`](SchemeDriver::evict_page_meta) — a successful
+//!   conflict-eviction campaign against one page's metadata (counter block
+//!   plus tree path: leaf and level-2 under the global tree, the full
+//!   intra-TreeLing path under IvLeague);
+//! * [`probe`](SchemeDriver::probe) — a timed attacker reload, optionally
+//!   emitted as an [`EventKind::Probe`] trace observation;
+//! * [`reset_dram`](SchemeDriver::reset_dram) — rebuilds the DRAM model
+//!   from its configuration, discarding bank/row-buffer residue. Harnesses
+//!   that isolate the *metadata* timing channel (the channel IvLeague
+//!   closes) call this between the victim phase and the probe phase so
+//!   shared row-buffer state — a real but orthogonal channel, out of the
+//!   paper's threat model — cannot masquerade as a metadata leak.
+//!
+//! The driver owns the scheme instance, the DRAM model, and the cycle
+//! cursor, so callers describe *what* the attacker and victim do, not how
+//! the models are threaded.
+
+use ivl_dram::DramModel;
+use ivl_sim_core::addr::{BlockAddr, PageNum};
+use ivl_sim_core::config::{DramConfig, SystemConfig};
+use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::obs::{EventKind, Obs};
+use ivl_sim_core::Cycle;
+use ivl_simulator::system::{SchemeInstance, SchemeKind};
+
+/// Idle gap inserted after every timed probe (matches the scripted
+/// attack's pacing: the attacker cannot re-probe back-to-back).
+pub const PROBE_GAP: Cycle = 500;
+
+/// A scheme instance plus the shared machinery an attacker/victim program
+/// needs to drive it.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_attack::driver::SchemeDriver;
+/// use ivl_sim_core::{addr::PageNum, config::SystemConfig, domain::DomainId};
+/// use ivl_simulator::SchemeKind;
+///
+/// let cfg = SystemConfig::default();
+/// let mut drv = SchemeDriver::new(SchemeKind::IvPro, &cfg);
+/// let victim = DomainId::new_unchecked(1);
+/// let page = PageNum::new(4096);
+/// drv.page_alloc(page, victim, 100);
+/// let done = drv.access_block(page.block(0), victim, true, 100);
+/// assert!(done > 0);
+/// ```
+#[derive(Debug)]
+pub struct SchemeDriver {
+    kind: SchemeKind,
+    scheme: SchemeInstance,
+    dram: DramModel,
+    dram_cfg: DramConfig,
+    obs: Obs,
+    /// Current cycle cursor; methods advance it past their completion
+    /// time plus the caller-chosen gap.
+    pub now: Cycle,
+}
+
+impl SchemeDriver {
+    /// Builds the scheme and its DRAM model with observability disabled.
+    pub fn new(kind: SchemeKind, cfg: &SystemConfig) -> Self {
+        SchemeDriver::with_obs(kind, cfg, &Obs::disabled())
+    }
+
+    /// Builds the scheme and its DRAM model, attaching `obs` to both.
+    pub fn with_obs(kind: SchemeKind, cfg: &SystemConfig, obs: &Obs) -> Self {
+        let mut scheme = kind.build(cfg);
+        scheme.as_subsystem().attach_obs(obs);
+        let mut dram = DramModel::new(&cfg.dram);
+        dram.set_obs(obs.clone());
+        SchemeDriver {
+            kind,
+            scheme,
+            dram,
+            dram_cfg: cfg.dram,
+            obs: obs.clone(),
+            now: 0,
+        }
+    }
+
+    /// The scheme this driver runs.
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// Read access to the scheme instance (forensics, stats).
+    pub fn scheme(&self) -> &SchemeInstance {
+        &self.scheme
+    }
+
+    /// OS page allocation into `domain`; advances the cursor past the
+    /// allocation plus `gap` cycles.
+    pub fn page_alloc(&mut self, page: PageNum, domain: DomainId, gap: Cycle) {
+        self.now = self
+            .scheme
+            .as_subsystem()
+            .page_alloc(self.now, &mut self.dram, page, domain)
+            + gap;
+    }
+
+    /// One data access (LLC miss) by `domain`; returns the completion
+    /// cycle and advances the cursor to it plus `gap`.
+    pub fn access_block(
+        &mut self,
+        block: BlockAddr,
+        domain: DomainId,
+        is_write: bool,
+        gap: Cycle,
+    ) -> Cycle {
+        let done = self.scheme.as_subsystem().data_access(
+            self.now,
+            &mut self.dram,
+            block,
+            domain,
+            is_write,
+        );
+        self.now = done + gap;
+        done
+    }
+
+    /// Models a successful attacker eviction of `page`'s metadata from the
+    /// shared caches: the counter block plus the tree path the page
+    /// verifies through (leaf and the shared level-2 node under the global
+    /// tree — paper Figure 2b ❶ — or the page's whole intra-TreeLing path
+    /// under IvLeague). A no-op for `NoProtection`.
+    pub fn evict_page_meta(&mut self, page: PageNum) {
+        match &mut self.scheme {
+            SchemeInstance::Baseline(s) => {
+                s.evict_counter_block(page);
+                let mut node = s.layout().leaf_covering(page.index());
+                // Evict leaf and level-2 (the attacker-shareable node).
+                for _ in 0..2 {
+                    let nb = s.layout().node_block(node);
+                    s.evict_tree_block(nb);
+                    node = s.layout().parent(node).expect("below root");
+                }
+            }
+            SchemeInstance::Iv(s) => {
+                s.evict_counter_block(page);
+                for nb in s.path_blocks(page) {
+                    s.evict_tree_block(nb);
+                }
+            }
+            SchemeInstance::None(_) => {}
+        }
+    }
+
+    /// One timed attacker reload of `page`'s first block: returns the
+    /// observed latency and advances the cursor by [`PROBE_GAP`]. When
+    /// `emit` is set and tracing is live, the observation lands in the
+    /// trace as an [`EventKind::Probe`] record tagged with `bit`.
+    pub fn probe(&mut self, page: PageNum, attacker: DomainId, bit: u32, emit: bool) -> Cycle {
+        let start = self.now;
+        let done = self.scheme.as_subsystem().data_access(
+            start,
+            &mut self.dram,
+            page.block(0),
+            attacker,
+            false,
+        );
+        self.now = done + PROBE_GAP;
+        let latency = done - start;
+        if emit && self.obs.tracer.enabled() {
+            self.obs.tracer.emit(
+                start,
+                "attacker",
+                Some(attacker),
+                None,
+                EventKind::Probe { bit, latency },
+            );
+        }
+        latency
+    }
+
+    /// Rebuilds the DRAM model from its configuration: every bank forgets
+    /// its open row and busy-until time. Scheme-side state (metadata
+    /// caches, NFL, trackers) is untouched — exactly the separation a
+    /// metadata-channel distinguisher needs.
+    pub fn reset_dram(&mut self) {
+        self.dram = DramModel::new(&self.dram_cfg);
+        self.dram.set_obs(self.obs.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_runs_every_scheme() {
+        let cfg = SystemConfig::default();
+        let d = DomainId::new_unchecked(1);
+        let page = PageNum::new(9_000);
+        for kind in SchemeKind::ALL {
+            let mut drv = SchemeDriver::new(kind, &cfg);
+            drv.page_alloc(page, d, 100);
+            let done = drv.access_block(page.block(0), d, true, 100);
+            assert!(done > 0, "{kind:?}");
+            drv.evict_page_meta(page);
+            let lat = drv.probe(page, d, 0, false);
+            assert!(lat > 0, "{kind:?}");
+            assert!(drv.now > done, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn eviction_slows_the_next_probe() {
+        let cfg = SystemConfig::default();
+        let d = DomainId::new_unchecked(1);
+        let page = PageNum::new(77);
+        for kind in [SchemeKind::Baseline, SchemeKind::IvPro] {
+            let mut drv = SchemeDriver::new(kind, &cfg);
+            drv.page_alloc(page, d, 100);
+            drv.access_block(page.block(0), d, true, 100);
+            // Warm probe: metadata cached.
+            let warm = drv.probe(page, d, 0, false);
+            drv.evict_page_meta(page);
+            drv.reset_dram();
+            let cold = drv.probe(page, d, 0, false);
+            assert!(
+                cold > warm,
+                "{kind:?}: cold {cold} should exceed warm {warm}"
+            );
+        }
+    }
+
+    /// Drives the Insecure scheme (pure DRAM, no metadata state) so probe
+    /// latency reflects only DRAM bank/row residue.
+    fn insecure_probe_after(cross_traffic: bool, reset: bool) -> Cycle {
+        let cfg = SystemConfig::default();
+        let d = DomainId::new_unchecked(1);
+        let page = PageNum::new(123);
+        let mut drv = SchemeDriver::new(SchemeKind::Insecure, &cfg);
+        drv.page_alloc(page, d, 100);
+        drv.access_block(page.block(0), d, true, 100);
+        if cross_traffic {
+            // A burst of far-away accesses — "victim" traffic the probe
+            // should not be able to see once DRAM state is normalized.
+            for i in 0..32u64 {
+                let far = PageNum::new(700_000 + i * 1_024);
+                drv.access_block(far.block(0), d, false, 10);
+            }
+        }
+        if reset {
+            drv.reset_dram();
+        }
+        drv.probe(page, d, 0, false)
+    }
+
+    #[test]
+    fn reset_dram_erases_cross_traffic_residue() {
+        let clean = insecure_probe_after(false, true);
+        let with_residue_reset = insecure_probe_after(true, true);
+        assert_eq!(
+            clean, with_residue_reset,
+            "normalized DRAM must hide cross-domain bank/row residue"
+        );
+    }
+}

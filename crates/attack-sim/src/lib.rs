@@ -28,17 +28,18 @@
 //! assert!(safe.accuracy < 0.75);
 //! ```
 
-use ivl_dram::DramModel;
-use ivl_secure_mem::baseline::GlobalBmtSubsystem;
-use ivl_secure_mem::subsystem::IntegritySubsystem;
+pub mod driver;
+
 use ivl_sim_core::addr::PageNum;
-use ivl_sim_core::config::{IvVariant, SystemConfig};
+use ivl_sim_core::config::SystemConfig;
 use ivl_sim_core::domain::DomainId;
-use ivl_sim_core::obs::{EventKind, Obs};
+use ivl_sim_core::obs::Obs;
 use ivl_sim_core::rng::Xoshiro256;
 use ivl_sim_core::Cycle;
+use ivl_simulator::system::SchemeKind;
 use ivl_workloads::rsa::SquareMultiplyVictim;
-use ivleague::scheme::{AllocatorKind, IvLeagueSubsystem};
+
+use crate::driver::SchemeDriver;
 
 /// Which integrity scheme the attack runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,16 @@ pub enum TargetScheme {
     /// IvLeague (isolated TreeLings; any variant behaves identically for
     /// the attack — Basic is used).
     IvLeague,
+}
+
+impl TargetScheme {
+    /// The simulator scheme this target maps to.
+    pub fn scheme_kind(self) -> SchemeKind {
+        match self {
+            TargetScheme::GlobalTree => SchemeKind::Baseline,
+            TargetScheme::IvLeague => SchemeKind::IvBasic,
+        }
+    }
 }
 
 /// Attack parameters.
@@ -101,81 +112,18 @@ pub struct AttackResult {
 /// Victim/attacker page placement: the attacker page shares the victim
 /// page's level-2 tree node (same 64-page group) but not its leaf (different
 /// 8-page group).
-fn colocated_attacker_page(victim: PageNum) -> PageNum {
+pub fn colocated_attacker_page(victim: PageNum) -> PageNum {
     let group = victim.index() / 64;
     let candidate = group * 64 + ((victim.index() % 64) + 8) % 64;
     PageNum::new(candidate)
 }
 
-enum Scheme {
-    Global(Box<GlobalBmtSubsystem>),
-    Iv(Box<IvLeagueSubsystem>),
-}
-
-impl Scheme {
-    fn subsystem(&mut self) -> &mut dyn IntegritySubsystem {
-        match self {
-            Scheme::Global(s) => s.as_mut(),
-            Scheme::Iv(s) => s.as_mut(),
-        }
-    }
-}
-
 /// The eviction step: flush the shared level-2 node, the leaves below it,
 /// and the counter blocks of all involved pages (paper Figure 2b ❶).
-fn evict(scheme: &mut Scheme, pages: &[PageNum]) {
-    match scheme {
-        Scheme::Global(s) => {
-            for &page in pages {
-                s.evict_counter_block(page);
-                let mut node = s.layout().leaf_covering(page.index());
-                // Evict leaf and level-2 (the shared node).
-                for _ in 0..2 {
-                    let nb = s.layout().node_block(node);
-                    s.evict_tree_block(nb);
-                    node = s.layout().parent(node).expect("below root");
-                }
-            }
-        }
-        Scheme::Iv(s) => {
-            for &page in pages {
-                s.evict_counter_block(page);
-                for nb in s.path_blocks(page) {
-                    s.evict_tree_block(nb);
-                }
-            }
-        }
+fn evict(drv: &mut SchemeDriver, pages: &[PageNum]) {
+    for &page in pages {
+        drv.evict_page_meta(page);
     }
-}
-
-/// One attacker reload: returns the observed latency and traces it as a
-/// [`EventKind::Probe`] observation when tracing is live.
-#[allow(clippy::too_many_arguments)]
-fn probe(
-    scheme: &mut Scheme,
-    dram: &mut DramModel,
-    page: PageNum,
-    attacker: DomainId,
-    now: &mut Cycle,
-    obs: &Obs,
-    bit: u32,
-) -> Cycle {
-    let start = *now;
-    let done = scheme
-        .subsystem()
-        .data_access(start, dram, page.block(0), attacker, false);
-    *now = done + 500;
-    let latency = done - start;
-    if obs.tracer.enabled() {
-        obs.tracer.emit(
-            start,
-            "attacker",
-            Some(attacker),
-            None,
-            EventKind::Probe { bit, latency },
-        );
-    }
-    latency
 }
 
 /// Runs the end-to-end attack.
@@ -191,8 +139,6 @@ pub fn run_attack(target: TargetScheme, cfg: &AttackConfig) -> AttackResult {
 /// trace.
 pub fn run_attack_with_obs(target: TargetScheme, cfg: &AttackConfig, obs: &Obs) -> AttackResult {
     let sys = SystemConfig::default();
-    let mut dram = DramModel::new(&sys.dram);
-    dram.set_obs(obs.clone());
     let mut rng = Xoshiro256::seed_from(cfg.seed);
 
     let victim_domain = DomainId::new_unchecked(1);
@@ -207,20 +153,7 @@ pub fn run_attack_with_obs(target: TargetScheme, cfg: &AttackConfig, obs: &Obs) 
 
     let victim = SquareMultiplyVictim::random(cfg.bits, sqr_page, mul_page, cfg.seed ^ 0x5EC);
 
-    let mut scheme = match target {
-        TargetScheme::GlobalTree => Scheme::Global(Box::new(GlobalBmtSubsystem::new(
-            &sys.secure,
-            sys.total_pages(),
-        ))),
-        TargetScheme::IvLeague => Scheme::Iv(Box::new(IvLeagueSubsystem::new(
-            &sys,
-            IvVariant::Basic,
-            AllocatorKind::Nfl,
-        ))),
-    };
-    scheme.subsystem().attach_obs(obs);
-
-    let mut now: Cycle = 0;
+    let mut drv = SchemeDriver::with_obs(target.scheme_kind(), &sys, obs);
 
     // Touch all pages once so IvLeague maps them (the OS has allocated the
     // victim's enclave pages and the attacker's pages).
@@ -230,9 +163,8 @@ pub fn run_attack_with_obs(target: TargetScheme, cfg: &AttackConfig, obs: &Obs) 
         } else {
             victim_domain
         };
-        let s = scheme.subsystem();
-        now = s.page_alloc(now, &mut dram, page, dom) + 100;
-        now = s.data_access(now, &mut dram, page.block(0), dom, true) + 100;
+        drv.page_alloc(page, dom, 100);
+        drv.access_block(page.block(0), dom, true, 100);
     }
 
     // Calibration: measure the attacker's reload latency with the shared
@@ -242,33 +174,14 @@ pub fn run_attack_with_obs(target: TargetScheme, cfg: &AttackConfig, obs: &Obs) 
     const CAL_ROUNDS: u64 = 16;
     for _ in 0..CAL_ROUNDS {
         // Slow: nothing primed the shared node.
-        evict(&mut scheme, &[sqr_page, mul_page, p1a, p2a]);
-        slow_sum += probe(
-            &mut scheme,
-            &mut dram,
-            p1a,
-            attacker_domain,
-            &mut now,
-            &Obs::disabled(),
-            0,
-        );
+        evict(&mut drv, &[sqr_page, mul_page, p1a, p2a]);
+        slow_sum += drv.probe(p1a, attacker_domain, 0, false);
         // Fast: the victim's sqr (always executed) primes it.
-        evict(&mut scheme, &[sqr_page, mul_page, p1a, p2a]);
+        evict(&mut drv, &[sqr_page, mul_page, p1a, p2a]);
         for b in victim.step(0).accesses.iter().take(4) {
-            now = scheme
-                .subsystem()
-                .data_access(now, &mut dram, *b, victim_domain, false)
-                + 50;
+            drv.access_block(*b, victim_domain, false, 50);
         }
-        fast_sum += probe(
-            &mut scheme,
-            &mut dram,
-            p1a,
-            attacker_domain,
-            &mut now,
-            &Obs::disabled(),
-            0,
-        );
+        fast_sum += drv.probe(p1a, attacker_domain, 0, false);
     }
     let threshold = (slow_sum / CAL_ROUNDS + fast_sum / CAL_ROUNDS) / 2;
 
@@ -277,33 +190,14 @@ pub fn run_attack_with_obs(target: TargetScheme, cfg: &AttackConfig, obs: &Obs) 
     let mut samples = Vec::with_capacity(cfg.bits);
     let mut correct = 0usize;
     for step in victim.steps() {
-        evict(&mut scheme, &[sqr_page, mul_page, p1a, p2a]);
+        evict(&mut drv, &[sqr_page, mul_page, p1a, p2a]);
         for b in &step.accesses {
-            now = scheme
-                .subsystem()
-                .data_access(now, &mut dram, *b, victim_domain, false)
-                + 50;
+            drv.access_block(*b, victim_domain, false, 50);
         }
         let spoiled = rng.chance(cfg.noise);
         let bit = step.bit.min(u32::MAX as usize) as u32;
-        let p1 = probe(
-            &mut scheme,
-            &mut dram,
-            p1a,
-            attacker_domain,
-            &mut now,
-            obs,
-            bit,
-        );
-        let p2 = probe(
-            &mut scheme,
-            &mut dram,
-            p2a,
-            attacker_domain,
-            &mut now,
-            obs,
-            bit,
-        );
+        let p1 = drv.probe(p1a, attacker_domain, bit, true);
+        let p2 = drv.probe(p2a, attacker_domain, bit, true);
         let guess = if spoiled {
             rng.chance(0.5)
         } else {

@@ -23,20 +23,6 @@ use ivl_sim_core::obs::{
 use ivl_simulator::{run_mix_observed, RunConfig, SchemeKind};
 use ivl_workloads::mixes::mix_by_name;
 
-fn scheme_by_name(name: &str) -> Option<SchemeKind> {
-    let n = name.to_ascii_lowercase();
-    Some(match n.as_str() {
-        "baseline" => SchemeKind::Baseline,
-        "ivbasic" | "ivleague-basic" | "basic" => SchemeKind::IvBasic,
-        "ivinvert" | "ivleague-invert" | "invert" => SchemeKind::IvInvert,
-        "ivpro" | "ivleague-pro" | "pro" => SchemeKind::IvPro,
-        "bv-v1" | "bvv1" => SchemeKind::BvV1,
-        "bv-v2" | "bvv2" => SchemeKind::BvV2,
-        "insecure" | "noprotection" => SchemeKind::Insecure,
-        _ => return None,
-    })
-}
-
 fn env_path(var: &str, default: &str) -> PathBuf {
     match std::env::var(var) {
         Ok(v) if !v.trim().is_empty() && v != "1" && !v.eq_ignore_ascii_case("true") => {
@@ -57,7 +43,7 @@ fn main() -> ExitCode {
         eprintln!("unknown mix {mix_name:?}");
         return ExitCode::FAILURE;
     };
-    let Some(scheme) = scheme_by_name(scheme_name) else {
+    let Some(scheme) = SchemeKind::from_label(scheme_name) else {
         eprintln!("unknown scheme {scheme_name:?}");
         return ExitCode::FAILURE;
     };

@@ -1,0 +1,276 @@
+//! The counterexample corpus: shrunk leak programs checked into
+//! `crates/leakfuzz/corpus/*.kv` and replayed by CI.
+//!
+//! Each entry records a minimal [`AccessProgram`] together with the
+//! schemes it is *expected* to flag on (`leaky`) and the schemes it must
+//! stay silent on (`clean`). Replaying the corpus is a drift detector in
+//! both directions:
+//!
+//! * a `leaky` scheme going quiet means the harness lost its
+//!   sensitivity (or someone "fixed" the Baseline by accident);
+//! * a `clean` scheme starting to flag means an isolation regression —
+//!   the exact bug class IvLeague exists to prevent.
+//!
+//! Files are `ivl_testkit::kv` documents (a TOML subset), so entries are
+//! hand-auditable and diff-friendly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ivl_simulator::system::SchemeKind;
+use ivl_testkit::kv::{KvDoc, KvError};
+
+use crate::harness::{run_program, HarnessConfig};
+use crate::program::AccessProgram;
+
+/// One corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Entry name (also the file stem by convention).
+    pub name: String,
+    /// Human note: where the program came from, what it exercises.
+    pub note: String,
+    /// Fuzzer case seed that produced the program (0 for hand-written).
+    pub seed: u64,
+    /// Sampled rounds per secret class used when judging the entry.
+    pub rounds_per_class: usize,
+    /// The (shrunk) program.
+    pub program: AccessProgram,
+    /// Schemes this program must flag on.
+    pub leaky: Vec<SchemeKind>,
+    /// Schemes this program must stay silent on.
+    pub clean: Vec<SchemeKind>,
+}
+
+fn labels(kinds: &[SchemeKind]) -> String {
+    kinds
+        .iter()
+        .map(|k| k.label())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+// Seeds are full-range u64 (often above i64::MAX, which the kv integer
+// type cannot hold), so they serialize as hex strings.
+fn parse_seed(text: &str) -> Result<u64, KvError> {
+    let t = text.trim();
+    let parsed = match t.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => t.parse(),
+    };
+    parsed.map_err(|_| KvError::Syntax {
+        line: 0,
+        message: format!("bad seed `{t}`"),
+    })
+}
+
+fn parse_labels(text: &str) -> Result<Vec<SchemeKind>, KvError> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            SchemeKind::from_label(s).ok_or_else(|| KvError::Syntax {
+                line: 0,
+                message: format!("unknown scheme label `{s}`"),
+            })
+        })
+        .collect()
+}
+
+impl CorpusEntry {
+    /// Serializes the entry to its `.kv` document text.
+    pub fn to_kv_string(&self) -> String {
+        let mut doc = KvDoc::new();
+        doc.set_str("meta.name", &self.name);
+        doc.set_str("meta.note", &self.note);
+        doc.set_str("meta.seed", &format!("{:#x}", self.seed));
+        doc.set_u64("meta.rounds_per_class", self.rounds_per_class as u64);
+        doc.set_str("expect.leaky", &labels(&self.leaky));
+        doc.set_str("expect.clean", &labels(&self.clean));
+        self.program.write_kv("program", &mut doc);
+        doc.to_toml_string()
+    }
+
+    /// Parses an entry from `.kv` document text.
+    pub fn from_kv_str(text: &str) -> Result<CorpusEntry, KvError> {
+        let doc = KvDoc::parse(text)?;
+        Ok(CorpusEntry {
+            name: doc.get_str("meta.name")?.to_string(),
+            note: doc.get_str("meta.note")?.to_string(),
+            seed: parse_seed(doc.get_str("meta.seed")?)?,
+            rounds_per_class: doc.get_usize("meta.rounds_per_class")?,
+            program: AccessProgram::read_kv("program", &doc)?,
+            leaky: parse_labels(doc.get_str("expect.leaky")?)?,
+            clean: parse_labels(doc.get_str("expect.clean")?)?,
+        })
+    }
+
+    /// Writes the entry to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        fs::write(path, self.to_kv_string())
+    }
+
+    /// Reads an entry from `path`.
+    pub fn load(path: &Path) -> Result<CorpusEntry, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        CorpusEntry::from_kv_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Replays the entry: every `leaky` scheme must flag, every `clean`
+    /// scheme must not. Returns human-readable violations (empty = pass).
+    pub fn replay(&self, base: &HarnessConfig) -> Vec<String> {
+        let cfg = HarnessConfig {
+            rounds_per_class: self.rounds_per_class,
+            ..*base
+        };
+        let mut violations = Vec::new();
+        for &kind in &self.leaky {
+            let report = run_program(kind, &self.program, &cfg);
+            if !report.flagged {
+                violations.push(format!(
+                    "{}: {} no longer flags (max |t| = {:.2}, max gap = {:.1} cycles) — \
+                     the harness lost its known leak",
+                    self.name,
+                    kind.label(),
+                    report.max_abs_t(),
+                    report.max_mean_gap()
+                ));
+            }
+        }
+        for &kind in &self.clean {
+            let report = run_program(kind, &self.program, &cfg);
+            if report.flagged {
+                violations.push(format!(
+                    "{}: {} now flags (max |t| = {:.2}, max gap = {:.1} cycles) — \
+                     isolation regression",
+                    self.name,
+                    kind.label(),
+                    report.max_abs_t(),
+                    report.max_mean_gap()
+                ));
+            }
+        }
+        violations
+    }
+}
+
+/// Loads every `.kv` entry under `dir`, sorted by file name for
+/// deterministic replay order.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusEntry)>, String> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "kv"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| CorpusEntry::load(&p).map(|e| (p, e)))
+        .collect()
+}
+
+/// The checked-in corpus directory (relative to the crate, resolved at
+/// compile time so tests and the binary agree).
+pub fn default_corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
+}
+
+/// The corpus seed entry: the scripted MetaLeak Evict+Reload attack of
+/// `crates/attack-sim`, expressed as an access program
+/// ([`metaleak_program`](crate::program::metaleak_program)). The
+/// checked-in `metaleak-evict-reload.kv` is this entry verbatim
+/// (`leakfuzz seed-corpus` regenerates it), so the corpus stays
+/// mechanically in sync with the code.
+pub fn metaleak_entry() -> CorpusEntry {
+    CorpusEntry {
+        name: "metaleak-evict-reload".into(),
+        note: "scripted MetaLeak Evict+Reload (paper Fig. 2b) as an access program; \
+               hand-seeded, not fuzzer-found"
+            .into(),
+        seed: 0,
+        rounds_per_class: 48,
+        program: crate::program::metaleak_program(),
+        leaky: vec![SchemeKind::Baseline],
+        clean: vec![
+            SchemeKind::IvBasic,
+            SchemeKind::IvInvert,
+            SchemeKind::IvPro,
+            SchemeKind::BvV1,
+            SchemeKind::BvV2,
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::metaleak_program;
+
+    fn entry() -> CorpusEntry {
+        CorpusEntry {
+            name: "metaleak-evict-reload".into(),
+            note: "scripted MetaLeak attack as a program".into(),
+            // Above i64::MAX, covering the hex seed codec.
+            seed: 0xDEAD_BEEF_DEAD_BEEF,
+            rounds_per_class: 32,
+            program: metaleak_program(),
+            leaky: vec![SchemeKind::Baseline],
+            clean: vec![
+                SchemeKind::IvBasic,
+                SchemeKind::IvInvert,
+                SchemeKind::IvPro,
+                SchemeKind::BvV1,
+                SchemeKind::BvV2,
+            ],
+        }
+    }
+
+    #[test]
+    fn corpus_entry_round_trips_through_kv() {
+        let e = entry();
+        let text = e.to_kv_string();
+        let back = CorpusEntry::from_kv_str(&text).expect("parses");
+        assert_eq!(e.name, back.name);
+        assert_eq!(e.note, back.note);
+        assert_eq!(e.seed, back.seed);
+        assert_eq!(e.rounds_per_class, back.rounds_per_class);
+        assert_eq!(e.program, back.program);
+        assert_eq!(e.leaky, back.leaky);
+        assert_eq!(e.clean, back.clean);
+        // Serialization is canonical: a second round trip is textual
+        // identity (what keeps corpus diffs clean).
+        assert_eq!(text, back.to_kv_string());
+    }
+
+    #[test]
+    fn unknown_scheme_labels_are_rejected() {
+        let text = entry().to_kv_string().replace("Baseline", "Fortress");
+        assert!(CorpusEntry::from_kv_str(&text).is_err());
+    }
+
+    #[test]
+    fn checked_in_metaleak_entry_matches_the_code() {
+        let path = default_corpus_dir().join("metaleak-evict-reload.kv");
+        let text = fs::read_to_string(&path).expect("seed corpus entry present");
+        assert_eq!(
+            text,
+            metaleak_entry().to_kv_string(),
+            "seed entry drifted from the code; run `leakfuzz seed-corpus` to refresh"
+        );
+    }
+
+    #[test]
+    fn checked_in_corpus_parses_and_names_match_files() {
+        let entries = load_dir(&default_corpus_dir()).expect("corpus loads");
+        assert!(!entries.is_empty(), "corpus must not be empty");
+        for (path, e) in &entries {
+            assert_eq!(
+                Some(e.name.as_str()),
+                path.file_stem().and_then(|s| s.to_str()),
+                "entry name should match its file stem"
+            );
+            assert!(!e.leaky.is_empty() || !e.clean.is_empty());
+            assert!(!e.program.probes.is_empty());
+        }
+    }
+}

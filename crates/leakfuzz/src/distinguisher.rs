@@ -1,0 +1,240 @@
+//! Statistical distinguisher over per-probe latency samples.
+//!
+//! The harness runs a program for many rounds with the victim's secret bit
+//! alternating, yielding two latency sample sets per probe slot (class 0:
+//! secret clear, class 1: secret set). This module decides whether the two
+//! distributions are *distinguishable* — i.e. whether the attacker-visible
+//! timing carries secret-correlated information.
+//!
+//! Two complementary test arms, in the spirit of TVLA's fixed-vs-fixed
+//! methodology:
+//!
+//! * **Welch's t-test** on the class means — catches mean shifts (the
+//!   MetaLeak signal: one class re-primes a shared tree node, saving a
+//!   DRAM fetch on the probe).
+//! * **Kolmogorov–Smirnov statistic** on the empirical CDFs — catches
+//!   distribution-shape differences with equal means (e.g. a bimodal
+//!   class against a constant one).
+//!
+//! Both arms are gated on a practical-significance guard: the simulator is
+//! noiseless, so even a sub-cycle systematic difference yields `t → ∞`
+//! with enough samples. A flagged slot must show at least
+//! [`Distinguisher::min_gap`] cycles of separation (mean gap for the t
+//! arm, max quantile gap for the KS arm) — about the cost of the cheapest
+//! real microarchitectural event, and far below a DRAM fetch.
+
+use ivl_sim_core::Cycle;
+
+/// Distinguisher thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct Distinguisher {
+    /// |t| at or above this flags the t arm (TVLA's canonical 4.5).
+    pub t_threshold: f64,
+    /// KS statistic at or above this flags the KS arm.
+    pub ks_threshold: f64,
+    /// Minimum cycle separation (mean gap / max quantile gap) for a flag.
+    pub min_gap: f64,
+    /// Minimum samples per class; fewer yields an unflagged verdict.
+    pub min_samples: usize,
+}
+
+impl Default for Distinguisher {
+    fn default() -> Self {
+        Distinguisher {
+            t_threshold: 4.5,
+            ks_threshold: 0.5,
+            min_gap: 5.0,
+            min_samples: 16,
+        }
+    }
+}
+
+/// Per-probe-slot verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotVerdict {
+    /// Welch's t statistic (`f64::INFINITY` for two distinct constants).
+    pub t: f64,
+    /// KS statistic in `[0, 1]`.
+    pub ks: f64,
+    /// Class-mean gap, cycles (`mean₁ − mean₀`).
+    pub mean_gap: f64,
+    /// Largest per-quantile latency gap, cycles.
+    pub quantile_gap: f64,
+    /// Whether this slot's distributions are distinguishable.
+    pub flagged: bool,
+}
+
+fn mean_var(samples: &[Cycle]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let var = samples
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / (n - 1.0).max(1.0);
+    (mean, var)
+}
+
+/// Welch's two-sample t statistic. Zero-variance classes are common here
+/// (a noiseless simulator often produces constant latencies): two distinct
+/// constants are perfectly distinguishable (`±∞`), identical constants are
+/// indistinguishable (`0`).
+pub fn welch_t(a: &[Cycle], b: &[Cycle]) -> f64 {
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    let gap = mb - ma;
+    let denom = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    if denom == 0.0 {
+        if gap == 0.0 {
+            0.0
+        } else {
+            gap.signum() * f64::INFINITY
+        }
+    } else {
+        gap / denom
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the largest vertical distance
+/// between the two empirical CDFs, in `[0, 1]`.
+pub fn ks_stat(a: &[Cycle], b: &[Cycle]) -> f64 {
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Largest latency gap between same-rank order statistics of the two
+/// (equal-length) sample sets — the practical-significance guard for the
+/// KS arm: a shape difference only counts if some quantile moved by a
+/// real number of cycles.
+pub fn max_quantile_gap(a: &[Cycle], b: &[Cycle]) -> f64 {
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    sa.iter()
+        .zip(sb.iter())
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+impl Distinguisher {
+    /// Judges one probe slot's two latency sample classes.
+    pub fn judge(&self, class0: &[Cycle], class1: &[Cycle]) -> SlotVerdict {
+        let t = welch_t(class0, class1);
+        let ks = ks_stat(class0, class1);
+        let (m0, _) = mean_var(class0);
+        let (m1, _) = mean_var(class1);
+        let mean_gap = m1 - m0;
+        let quantile_gap = max_quantile_gap(class0, class1);
+        let enough = class0.len() >= self.min_samples && class1.len() >= self.min_samples;
+        let t_arm = t.abs() >= self.t_threshold && mean_gap.abs() >= self.min_gap;
+        let ks_arm = ks >= self.ks_threshold && quantile_gap >= self.min_gap;
+        SlotVerdict {
+            t,
+            ks,
+            mean_gap,
+            quantile_gap,
+            flagged: enough && (t_arm || ks_arm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(vals: &[Cycle]) -> Vec<Cycle> {
+        vals.to_vec()
+    }
+
+    #[test]
+    fn identical_distributions_do_not_flag() {
+        let d = Distinguisher::default();
+        // Identical constants.
+        let a = vec![200u64; 64];
+        let v = d.judge(&a, &a);
+        assert!(!v.flagged);
+        assert_eq!(v.t, 0.0);
+        assert_eq!(v.ks, 0.0);
+        // Identical non-constant distributions.
+        let b: Vec<Cycle> = (0..64).map(|i| 180 + (i % 5) * 7).collect();
+        let v = d.judge(&b, &b);
+        assert!(!v.flagged, "t={} ks={}", v.t, v.ks);
+    }
+
+    #[test]
+    fn shifted_mean_flags_via_the_t_arm() {
+        let d = Distinguisher::default();
+        // A DRAM-fetch-sized mean shift with mild jitter.
+        let a: Vec<Cycle> = (0..64).map(|i| 200 + (i % 3)).collect();
+        let b: Vec<Cycle> = (0..64).map(|i| 320 + (i % 3)).collect();
+        let v = d.judge(&a, &b);
+        assert!(v.flagged);
+        assert!(v.t.abs() >= d.t_threshold, "t = {}", v.t);
+        assert!(v.mean_gap > 100.0);
+        // Two distinct constants: t degenerates to ±∞ but still flags.
+        let v = d.judge(&samples(&[200; 32]), &samples(&[320; 32]));
+        assert!(v.flagged);
+        assert!(v.t.is_infinite());
+    }
+
+    #[test]
+    fn shifted_variance_flags_via_the_ks_arm() {
+        let d = Distinguisher::default();
+        // Equal means (250), very different shapes: constant vs bimodal
+        // 200/300 — the t arm is blind to this, KS is not.
+        let a = vec![250u64; 64];
+        let b: Vec<Cycle> = (0..64)
+            .map(|i| if i % 2 == 0 { 200 } else { 300 })
+            .collect();
+        let v = d.judge(&a, &b);
+        assert!(v.mean_gap.abs() < d.min_gap, "means match by construction");
+        assert!(v.t.abs() < d.t_threshold, "t arm blind, t = {}", v.t);
+        assert!(v.ks >= d.ks_threshold, "ks = {}", v.ks);
+        assert!(v.quantile_gap >= d.min_gap);
+        assert!(v.flagged);
+    }
+
+    #[test]
+    fn sub_cycle_gaps_and_small_samples_do_not_flag() {
+        let d = Distinguisher::default();
+        // Systematic but tiny gap: statistically "significant" (constant
+        // vs constant ⇒ t = ∞) yet below the practical guard.
+        let v = d.judge(&samples(&[200; 64]), &samples(&[202; 64]));
+        assert!(v.t.is_infinite());
+        assert!(!v.flagged, "2-cycle gap is below min_gap");
+        // Huge gap but too few samples.
+        let v = d.judge(&samples(&[200; 4]), &samples(&[320; 4]));
+        assert!(!v.flagged, "under min_samples no verdict");
+    }
+
+    #[test]
+    fn ks_stat_matches_hand_computed_value() {
+        // a = {1,2,3,4}, b = {3,4,5,6}: at x=2 F_a=0.5, F_b=0 ⇒ D=0.5.
+        let a = samples(&[1, 2, 3, 4]);
+        let b = samples(&[3, 4, 5, 6]);
+        let d = ks_stat(&a, &b);
+        assert!((d - 0.5).abs() < 1e-12, "D = {d}");
+        assert_eq!(ks_stat(&a, &a), 0.0);
+    }
+}

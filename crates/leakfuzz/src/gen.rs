@@ -1,0 +1,343 @@
+//! Strategies generating (and shrinking) random [`AccessProgram`]s.
+//!
+//! All strategies are custom [`Strategy`](ivl_testkit::prop::Strategy)
+//! implementations rather than `prop_map` chains: the testkit's `prop_map`
+//! values do not shrink (no inverse to recover the pre-image), and
+//! shrinking found leaks down to minimal counterexamples is the whole
+//! point of the corpus. Vector structure reuses the testkit's
+//! [`vec`] shrinker (drop-prefix / drop-element / per-element), so a
+//! twelve-op program with one real leak collapses to the few ops that
+//! carry it.
+//!
+//! # Link bias
+//!
+//! Uniformly random programs rarely line up all four ingredients of the
+//! MetaLeak pattern (evict victim meta + evict attacker meta + a
+//! secret-conditional victim access + a probe, all in one level-2 group).
+//! [`ProgramStrategy`] therefore injects that four-op *link* into half the
+//! generated programs, at a page chosen from the same seeded stream. The
+//! bias only shapes the search distribution: flagged programs are still
+//! validated and shrunk like any other, and the unlinked half keeps
+//! exploring patterns the designers did not anticipate.
+
+use ivl_testkit::prop::{vec, Strategy, VecStrategy};
+use ivl_testkit::rng::TestRng;
+
+use crate::program::{AccessProgram, PageRef, PrepOp, VictimOp, When, GROUPS, SLOTS};
+
+/// Strategy over the page universe; shrinks lexicographically towards
+/// group 0, slot 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageRefStrategy;
+
+impl Strategy for PageRefStrategy {
+    type Value = PageRef;
+
+    fn generate(&self, rng: &mut TestRng) -> PageRef {
+        PageRef {
+            group: rng.below(GROUPS as u64) as u8,
+            slot: rng.below(SLOTS as u64) as u8,
+        }
+    }
+
+    fn shrink(&self, value: &PageRef) -> Vec<PageRef> {
+        let mut out = Vec::new();
+        if value.group > 0 || value.slot > 0 {
+            out.push(PageRef { group: 0, slot: 0 });
+        }
+        if value.slot > 0 {
+            out.push(PageRef {
+                group: value.group,
+                slot: value.slot - 1,
+            });
+        }
+        if value.group > 0 {
+            out.push(PageRef {
+                group: value.group - 1,
+                slot: value.slot,
+            });
+        }
+        out.retain(|c| c != value);
+        out.dedup();
+        out
+    }
+
+    fn contains(&self, value: &PageRef) -> bool {
+        value.group < GROUPS && value.slot < SLOTS
+    }
+}
+
+/// Strategy over prep ops. Eviction of victim metadata — the attacker
+/// move every known metadata channel needs — is drawn as often as the
+/// other two variants combined. Shrinks simplify the page and turn writes
+/// into reads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrepOpStrategy;
+
+impl Strategy for PrepOpStrategy {
+    type Value = PrepOp;
+
+    fn generate(&self, rng: &mut TestRng) -> PrepOp {
+        let page = PageRefStrategy.generate(rng);
+        match rng.below(4) {
+            0 | 1 => PrepOp::EvictVictimMeta(page),
+            2 => PrepOp::EvictAttackerMeta(page),
+            _ => PrepOp::Touch {
+                page,
+                write: rng.below(2) == 1,
+            },
+        }
+    }
+
+    fn shrink(&self, value: &PrepOp) -> Vec<PrepOp> {
+        match *value {
+            PrepOp::EvictVictimMeta(r) => PageRefStrategy
+                .shrink(&r)
+                .into_iter()
+                .map(PrepOp::EvictVictimMeta)
+                .collect(),
+            PrepOp::EvictAttackerMeta(r) => PageRefStrategy
+                .shrink(&r)
+                .into_iter()
+                .map(PrepOp::EvictAttackerMeta)
+                .collect(),
+            PrepOp::Touch { page, write } => {
+                let mut out: Vec<PrepOp> = PageRefStrategy
+                    .shrink(&page)
+                    .into_iter()
+                    .map(|p| PrepOp::Touch { page: p, write })
+                    .collect();
+                if write {
+                    out.insert(0, PrepOp::Touch { page, write: false });
+                }
+                out
+            }
+        }
+    }
+
+    fn contains(&self, value: &PrepOp) -> bool {
+        let page = match value {
+            PrepOp::EvictVictimMeta(r) | PrepOp::EvictAttackerMeta(r) => r,
+            PrepOp::Touch { page, .. } => page,
+        };
+        PageRefStrategy.contains(page)
+    }
+}
+
+/// Strategy over victim ops. Shrinks simplify the page, turn writes into
+/// reads, and reduce the condition `s0 → s1 → always` (each step strictly
+/// simpler, so greedy shrinking cannot oscillate between the two
+/// secret-conditional forms).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VictimOpStrategy;
+
+impl Strategy for VictimOpStrategy {
+    type Value = VictimOp;
+
+    fn generate(&self, rng: &mut TestRng) -> VictimOp {
+        VictimOp {
+            page: PageRefStrategy.generate(rng),
+            write: rng.below(2) == 1,
+            when: match rng.below(4) {
+                // Secret-conditional ops are what a leak needs; bias
+                // towards them.
+                0 => When::Always,
+                1 | 2 => When::SecretSet,
+                _ => When::SecretClear,
+            },
+        }
+    }
+
+    fn shrink(&self, value: &VictimOp) -> Vec<VictimOp> {
+        let mut out = Vec::new();
+        match value.when {
+            When::SecretClear => {
+                out.push(VictimOp {
+                    when: When::SecretSet,
+                    ..*value
+                });
+                out.push(VictimOp {
+                    when: When::Always,
+                    ..*value
+                });
+            }
+            When::SecretSet => out.push(VictimOp {
+                when: When::Always,
+                ..*value
+            }),
+            When::Always => {}
+        }
+        if value.write {
+            out.push(VictimOp {
+                write: false,
+                ..*value
+            });
+        }
+        out.extend(
+            PageRefStrategy
+                .shrink(&value.page)
+                .into_iter()
+                .map(|p| VictimOp { page: p, ..*value }),
+        );
+        out
+    }
+
+    fn contains(&self, value: &VictimOp) -> bool {
+        PageRefStrategy.contains(&value.page)
+    }
+}
+
+/// Strategy over whole programs; see the module docs for the link bias.
+pub struct ProgramStrategy {
+    prep: VecStrategy<PrepOpStrategy>,
+    victim: VecStrategy<VictimOpStrategy>,
+    probes: VecStrategy<PageRefStrategy>,
+}
+
+impl ProgramStrategy {
+    /// The fuzzer's default program shape: up to six prep ops, up to four
+    /// victim ops, one to four probes.
+    pub fn new() -> Self {
+        ProgramStrategy {
+            prep: vec(PrepOpStrategy, 0..7),
+            victim: vec(VictimOpStrategy, 0..5),
+            probes: vec(PageRefStrategy, 1..5),
+        }
+    }
+}
+
+impl Default for ProgramStrategy {
+    fn default() -> Self {
+        ProgramStrategy::new()
+    }
+}
+
+impl Strategy for ProgramStrategy {
+    type Value = AccessProgram;
+
+    fn generate(&self, rng: &mut TestRng) -> AccessProgram {
+        let mut prog = AccessProgram {
+            prep: self.prep.generate(rng),
+            victim: self.victim.generate(rng),
+            probes: self.probes.generate(rng),
+        };
+        if rng.below(2) == 0 {
+            let r = PageRefStrategy.generate(rng);
+            prog.prep.push(PrepOp::EvictVictimMeta(r));
+            prog.prep.push(PrepOp::EvictAttackerMeta(r));
+            prog.victim.push(VictimOp {
+                page: r,
+                write: false,
+                when: When::SecretSet,
+            });
+            prog.probes.push(r);
+        }
+        prog
+    }
+
+    fn shrink(&self, value: &AccessProgram) -> Vec<AccessProgram> {
+        let mut out = Vec::new();
+        for cand in self.prep.shrink(&value.prep) {
+            out.push(AccessProgram {
+                prep: cand,
+                ..value.clone()
+            });
+        }
+        for cand in self.victim.shrink(&value.victim) {
+            out.push(AccessProgram {
+                victim: cand,
+                ..value.clone()
+            });
+        }
+        for cand in self.probes.shrink(&value.probes) {
+            out.push(AccessProgram {
+                probes: cand,
+                ..value.clone()
+            });
+        }
+        out
+    }
+
+    // No upper length check: link injection legitimately extends the
+    // base vectors past their generated length ranges.
+    fn contains(&self, value: &AccessProgram) -> bool {
+        !value.probes.is_empty()
+            && value.prep.iter().all(|op| PrepOpStrategy.contains(op))
+            && value.victim.iter().all(|op| VictimOpStrategy.contains(op))
+            && value.probes.iter().all(|r| PageRefStrategy.contains(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_in_universe() {
+        let strat = ProgramStrategy::new();
+        let mut a = TestRng::seed_from(42);
+        let mut b = TestRng::seed_from(42);
+        for _ in 0..64 {
+            let pa = strat.generate(&mut a);
+            let pb = strat.generate(&mut b);
+            assert_eq!(pa, pb);
+            assert!(strat.contains(&pa));
+            assert!(!pa.probes.is_empty(), "programs always probe something");
+        }
+    }
+
+    #[test]
+    fn link_bias_injects_the_metaleak_pattern() {
+        let strat = ProgramStrategy::new();
+        let mut rng = TestRng::seed_from(7);
+        let mut linked = 0usize;
+        const N: usize = 200;
+        for _ in 0..N {
+            let prog = strat.generate(&mut rng);
+            let has_link = prog.probes.iter().any(|r| {
+                prog.prep.contains(&PrepOp::EvictVictimMeta(*r))
+                    && prog.prep.contains(&PrepOp::EvictAttackerMeta(*r))
+                    && prog
+                        .victim
+                        .iter()
+                        .any(|op| op.page == *r && op.when == When::SecretSet)
+            });
+            if has_link {
+                linked += 1;
+            }
+        }
+        assert!(
+            (N / 4..N).contains(&linked),
+            "link bias should mark roughly half the programs, got {linked}/{N}"
+        );
+    }
+
+    #[test]
+    fn shrinking_terminates_at_a_fixpoint() {
+        // Greedily accept the first shrink candidate forever: every chain
+        // must hit an unshrinkable value, or the step cap below trips.
+        let strat = ProgramStrategy::new();
+        let mut rng = TestRng::seed_from(11);
+        for _ in 0..32 {
+            let mut value = strat.generate(&mut rng);
+            let mut steps = 0u32;
+            while let Some(next) = strat.shrink(&value).into_iter().next() {
+                value = next;
+                steps += 1;
+                assert!(steps < 10_000, "shrink chain did not terminate");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_stay_in_universe() {
+        let strat = ProgramStrategy::new();
+        let mut rng = TestRng::seed_from(13);
+        for _ in 0..32 {
+            let value = strat.generate(&mut rng);
+            for cand in strat.shrink(&value) {
+                assert!(strat.contains(&cand));
+            }
+        }
+    }
+}

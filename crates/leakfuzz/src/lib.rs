@@ -1,0 +1,44 @@
+//! Leak-search fuzzer over IvLeague's isolation boundaries.
+//!
+//! The workspace's scripted attack (`crates/attack-sim`) demonstrates one
+//! known channel — MetaLeak's Evict+Reload over shared integrity-tree
+//! nodes. This crate searches for channels nobody scripted: it generates
+//! random attacker/victim access programs ([`program`]), runs each against
+//! every scheme under a fixed-vs-fixed measurement ([`harness`]), applies
+//! a statistical distinguisher over the attacker's probe latencies
+//! ([`distinguisher`]), and shrinks anything that flags down to a minimal
+//! counterexample ([`fuzz`]). Minimal counterexamples are checked into a
+//! replayable corpus ([`corpus`]) that CI runs as a drift detector: the
+//! Baseline must keep leaking, the protected schemes must stay silent.
+//!
+//! Everything is deterministic: programs come from a seeded splitmix64 →
+//! xoshiro256** stream (`ivl_testkit::rng`), the simulator is noiseless,
+//! and shrinking is a greedy fixpoint walk — so a finding on one machine
+//! is a finding on every machine, and the `leakfuzz` binary's
+//! `IVL_FUZZ_SEED` reproduces a whole run.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ivl_leakfuzz::harness::{run_program, HarnessConfig};
+//! use ivl_leakfuzz::program::metaleak_program;
+//! use ivl_simulator::SchemeKind;
+//!
+//! let cfg = HarnessConfig::default();
+//! let prog = metaleak_program();
+//! assert!(run_program(SchemeKind::Baseline, &prog, &cfg).flagged);
+//! assert!(!run_program(SchemeKind::IvPro, &prog, &cfg).flagged);
+//! ```
+
+pub mod corpus;
+pub mod distinguisher;
+pub mod fuzz;
+pub mod gen;
+pub mod harness;
+pub mod program;
+
+pub use corpus::CorpusEntry;
+pub use distinguisher::Distinguisher;
+pub use fuzz::{fuzz, fuzz_with, Finding, FuzzConfig, FuzzOutcome};
+pub use harness::{run_program, run_program_with_obs, HarnessConfig, ProgramReport};
+pub use program::{metaleak_program, AccessProgram};

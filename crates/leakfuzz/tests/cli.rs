@@ -1,0 +1,144 @@
+//! End-to-end tests of the `leakfuzz` binary: seed-driven determinism,
+//! corpus replay exit codes, and the gate direction (a protected scheme
+//! flagging must fail the replay).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use ivl_leakfuzz::corpus::{metaleak_entry, CorpusEntry};
+use ivl_simulator::system::SchemeKind;
+
+fn leakfuzz() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_leakfuzz"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The finding lines (one per leak) of a fuzz run's stdout.
+fn finding_lines(out: &Output) -> Vec<String> {
+    stdout_of(out)
+        .lines()
+        .filter(|l| l.starts_with("leak:"))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn ivl_fuzz_seed_makes_runs_reproducible() {
+    let run = |dir: &str, seed: &str| {
+        leakfuzz()
+            .args(["fuzz", "--max-cases", "4", "--budget-secs", "0"])
+            .args(["--out", tmp_dir(dir).to_str().unwrap()])
+            .env("IVL_FUZZ_SEED", seed)
+            .output()
+            .expect("run leakfuzz fuzz")
+    };
+    let a = run("fuzz-det-a", "12345");
+    let b = run("fuzz-det-b", "12345");
+    assert!(a.status.success(), "stderr: {:?}", a.stderr);
+    assert_eq!(
+        finding_lines(&a),
+        finding_lines(&b),
+        "same IVL_FUZZ_SEED must reproduce the identical findings"
+    );
+    // The banner reflects the env seed (flags would win, none passed).
+    assert!(stdout_of(&a).contains("seed=0x3039"), "{}", stdout_of(&a));
+
+    let c = run("fuzz-det-c", "54321");
+    assert!(c.status.success());
+    assert!(
+        stdout_of(&c).contains("seed=0xd431"),
+        "different env seed must change the stream"
+    );
+}
+
+#[test]
+fn fuzz_writes_corpus_entries_and_traces_for_findings() {
+    let out_dir = tmp_dir("fuzz-artifacts");
+    let out = leakfuzz()
+        .args([
+            "fuzz",
+            "--seed",
+            "7",
+            "--max-cases",
+            "3",
+            "--budget-secs",
+            "0",
+        ])
+        .args(["--out", out_dir.to_str().unwrap()])
+        .output()
+        .expect("run leakfuzz fuzz");
+    // Whether or not this tiny run finds something is seed-dependent;
+    // what must hold: exit 0 (no protected finding) and every finding
+    // printed has a .kv plus a trace next to it.
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let findings = finding_lines(&out);
+    let kvs: Vec<_> = fs::read_dir(&out_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "kv"))
+        .collect();
+    assert_eq!(kvs.len(), findings.len(), "one corpus entry per finding");
+    for e in kvs {
+        let entry = CorpusEntry::load(&e.path()).expect("finding entry parses");
+        assert_eq!(entry.leaky.len(), 1);
+        let trace = e.path().with_extension("trace.jsonl");
+        assert!(trace.exists(), "missing trace dump {}", trace.display());
+        assert!(fs::metadata(&trace).unwrap().len() > 0);
+    }
+}
+
+#[test]
+fn replay_passes_on_the_checked_in_corpus() {
+    let out = leakfuzz().arg("replay").output().expect("run replay");
+    assert!(
+        out.status.success(),
+        "stdout: {} stderr: {}",
+        stdout_of(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout_of(&out).contains("metaleak-evict-reload: ok"));
+}
+
+#[test]
+fn replay_fails_when_a_clean_expectation_is_violated() {
+    // Declare the Baseline "clean" — it leaks, so replay must exit 1.
+    // This is the drift-detector direction that guards protected schemes.
+    let dir = tmp_dir("replay-violation");
+    let mut entry = metaleak_entry();
+    entry.name = "tampered".into();
+    entry.leaky = Vec::new();
+    entry.clean = vec![SchemeKind::Baseline];
+    entry.save(&dir.join("tampered.kv")).unwrap();
+
+    let out = leakfuzz()
+        .args(["replay", "--corpus", dir.to_str().unwrap()])
+        .output()
+        .expect("run replay");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("isolation regression"), "stderr: {err}");
+}
+
+#[test]
+fn show_prints_the_verdict_matrix() {
+    let path = ivl_leakfuzz::corpus::default_corpus_dir().join("metaleak-evict-reload.kv");
+    let out = leakfuzz()
+        .args(["show", path.to_str().unwrap()])
+        .output()
+        .expect("run show");
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    assert!(text.contains("Baseline") && text.contains("flagged=true"));
+    assert!(text.contains("IvLeague-Pro") && text.contains("flagged=false"));
+}

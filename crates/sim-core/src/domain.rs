@@ -40,7 +40,7 @@ impl DomainId {
     /// # Panics
     ///
     /// Panics in debug builds if out of range.
-    pub fn new_unchecked(id: u16) -> Self {
+    pub const fn new_unchecked(id: u16) -> Self {
         debug_assert!((id as usize) < MAX_DOMAINS);
         DomainId(id)
     }

@@ -47,6 +47,43 @@ impl SchemeKind {
         SchemeKind::IvPro,
     ];
 
+    /// Every scheme, in evaluation order (the leak-search fuzzer sweeps
+    /// this list minus [`Insecure`](SchemeKind::Insecure)).
+    pub const ALL: [SchemeKind; 7] = [
+        SchemeKind::Baseline,
+        SchemeKind::IvBasic,
+        SchemeKind::IvInvert,
+        SchemeKind::IvPro,
+        SchemeKind::BvV1,
+        SchemeKind::BvV2,
+        SchemeKind::Insecure,
+    ];
+
+    /// Whether the scheme's isolation claims say the metadata timing
+    /// channel must be closed. `Baseline` shares one global tree (the
+    /// MetaLeak target) and `Insecure` has no metadata at all; every
+    /// IvLeague variant — whatever its allocator — must show no
+    /// attacker-distinguishable metadata signal.
+    pub fn is_protected(self) -> bool {
+        !matches!(self, SchemeKind::Baseline | SchemeKind::Insecure)
+    }
+
+    /// Parses a figure-legend label (or the common CLI aliases) back into
+    /// the scheme; the inverse of [`label`](Self::label).
+    pub fn from_label(name: &str) -> Option<SchemeKind> {
+        let n = name.to_ascii_lowercase();
+        Some(match n.as_str() {
+            "baseline" => SchemeKind::Baseline,
+            "ivbasic" | "ivleague-basic" | "basic" => SchemeKind::IvBasic,
+            "ivinvert" | "ivleague-invert" | "invert" => SchemeKind::IvInvert,
+            "ivpro" | "ivleague-pro" | "pro" => SchemeKind::IvPro,
+            "bv-v1" | "bvv1" => SchemeKind::BvV1,
+            "bv-v2" | "bvv2" => SchemeKind::BvV2,
+            "insecure" | "noprotection" => SchemeKind::Insecure,
+            _ => return None,
+        })
+    }
+
     /// Figure-legend label.
     pub fn label(self) -> &'static str {
         match self {
@@ -112,7 +149,10 @@ pub enum SchemeInstance {
 }
 
 impl SchemeInstance {
-    fn as_subsystem(&mut self) -> &mut dyn IntegritySubsystem {
+    /// The instance as the trait object the memory controller drives.
+    /// Public so external harnesses (the attack driver, the leak-search
+    /// fuzzer) can run arbitrary access programs against a built scheme.
+    pub fn as_subsystem(&mut self) -> &mut dyn IntegritySubsystem {
         match self {
             SchemeInstance::Baseline(s) => s,
             SchemeInstance::Iv(s) => s,
@@ -120,7 +160,8 @@ impl SchemeInstance {
         }
     }
 
-    fn as_subsystem_ref(&self) -> &dyn IntegritySubsystem {
+    /// Shared-reference counterpart of [`as_subsystem`](Self::as_subsystem).
+    pub fn as_subsystem_ref(&self) -> &dyn IntegritySubsystem {
         match self {
             SchemeInstance::Baseline(s) => s,
             SchemeInstance::Iv(s) => s,
@@ -128,7 +169,8 @@ impl SchemeInstance {
         }
     }
 
-    fn stats(&self) -> &IvStats {
+    /// Scheme statistics so far (monotonic; see [`IvStats::delta`]).
+    pub fn stats(&self) -> &IvStats {
         match self {
             SchemeInstance::Baseline(s) => s.stats(),
             SchemeInstance::Iv(s) => s.stats(),
@@ -803,6 +845,22 @@ pub fn run_mix_observed_with_scheduler(
 mod tests {
     use super::*;
     use ivl_workloads::mixes::mix_by_name;
+
+    #[test]
+    fn scheme_labels_round_trip_and_protection_split() {
+        for kind in SchemeKind::ALL {
+            assert_eq!(SchemeKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(SchemeKind::from_label("IvPro"), Some(SchemeKind::IvPro));
+        assert_eq!(SchemeKind::from_label("no-such-scheme"), None);
+        let protected: Vec<_> = SchemeKind::ALL
+            .into_iter()
+            .filter(|k| k.is_protected())
+            .collect();
+        assert_eq!(protected.len(), 5, "all IvLeague variants are protected");
+        assert!(!SchemeKind::Baseline.is_protected());
+        assert!(!SchemeKind::Insecure.is_protected());
+    }
 
     #[test]
     fn smoke_runs_all_main_schemes() {

@@ -552,12 +552,45 @@ where
     S: Strategy,
     F: Fn(&S::Value) -> TestCaseResult,
 {
+    shrink_to_minimal(strategy, initial, |v| test(v).is_err(), max_steps)
+}
+
+/// The property runner's greedy shrink engine, exposed for harnesses that
+/// minimize interesting inputs outside a `props!` body (the leak-search
+/// fuzzer shrinks counterexample programs this way).
+///
+/// `still_interesting` must return `true` for `initial`; the engine walks
+/// [`Strategy::shrink`] candidates, keeping the first candidate that is
+/// still interesting, until a fixpoint or `max_steps` candidate
+/// evaluations. Returns the minimal interesting value and the number of
+/// candidates evaluated. Fully deterministic: no RNG is involved.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_testkit::prop::{shrink_to_minimal, Strategy};
+///
+/// let strategy = 0u64..100_000;
+/// let (minimal, steps) = shrink_to_minimal(&strategy, 54_321, |v| *v >= 10, 4096);
+/// assert_eq!(minimal, 10);
+/// assert!(steps > 0);
+/// ```
+pub fn shrink_to_minimal<S, P>(
+    strategy: &S,
+    initial: S::Value,
+    still_interesting: P,
+    max_steps: u32,
+) -> (S::Value, u32)
+where
+    S: Strategy,
+    P: Fn(&S::Value) -> bool,
+{
     let mut current = initial;
     let mut steps = 0u32;
     'fixpoint: while steps < max_steps {
         for candidate in strategy.shrink(&current) {
             steps += 1;
-            if test(&candidate).is_err() {
+            if still_interesting(&candidate) {
                 current = candidate;
                 continue 'fixpoint;
             }
@@ -764,6 +797,16 @@ mod tests {
         };
         let (minimal, _) = shrink_failure(&strat, failing, &test, 8192);
         assert_eq!(minimal.0 + minimal.1, 20);
+    }
+
+    #[test]
+    fn shrink_to_minimal_respects_step_budget() {
+        let strat = 0u64..1_000_000;
+        let (minimal, steps) = shrink_to_minimal(&strat, 999_999, |v| *v >= 10, 3);
+        assert_eq!(steps, 3);
+        assert!(minimal >= 10, "budgeted shrink must stay interesting");
+        let (full, _) = shrink_to_minimal(&strat, 999_999, |v| *v >= 10, 1 << 16);
+        assert_eq!(full, 10);
     }
 
     #[test]

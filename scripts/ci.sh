@@ -7,6 +7,7 @@
 #   scripts/ci.sh            # run every check in both profiles
 #   scripts/ci.sh debug      # build/test the debug profile only
 #   scripts/ci.sh release    # build/test the release profile only
+#   scripts/ci.sh fuzz       # leak-search: corpus replay + budgeted fuzz
 #
 # Steps:
 #   1. dependency purity    - Cargo.lock and `cargo tree` contain only
@@ -15,31 +16,47 @@
 #   2. formatting           - cargo fmt --check
 #   3. lints                - cargo clippy --all-targets -D warnings
 #   4. build + test         - --locked --offline, per profile
-#   5. bench smoke + gate   - one quick ivl-bench micro run, diffed against
+#   5. leak corpus replay   - every profile: `leakfuzz replay` re-runs the
+#                             checked-in counterexample corpus; the Baseline
+#                             must keep flagging and every protected scheme
+#                             must stay clean (drift detector both ways)
+#   6. bench smoke + gate   - one quick ivl-bench micro run, diffed against
 #                             BENCH_pr6.json by bench_compare; fails on a
 #                             median regression beyond the threshold
 #                             (IVL_BENCH_GATE_THRESHOLD, default 1.5 = 2.5x)
-#   6. observability smoke  - obs_run writes + self-validates a trace
+#   7. observability smoke  - obs_run writes + self-validates a trace
 #                             (JSONL) and stats registry (JSON) for a quick
 #                             mix and a short attack
-#   7. figures wall-clock   - all_figures --quick (release only) must finish
+#   8. figures wall-clock   - all_figures --quick (release only) must finish
 #                             within IVL_FIGURES_BUDGET_SECS (default 300);
 #                             catches campaign-layer slowdowns the per-bench
 #                             medians cannot see
+#
+# The fuzz profile replaces steps 2-4 and 6-8 with a budgeted leak-search
+# run (IVL_FUZZ_BUDGET_SECS, default 60): `leakfuzz fuzz` exits 2 — failing
+# this script — if any protected scheme shows a distinguishable timing
+# signal. Findings land in target/leakfuzz/ as corpus entries plus trace
+# dumps for upload.
+#
+# Every run ends with a one-line PASS summary listing the steps executed.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 PROFILE_FILTER="${1:-all}"
 case "$PROFILE_FILTER" in
-all | debug | release) ;;
+all | debug | release | fuzz) ;;
 *)
-    echo "unknown profile '$PROFILE_FILTER' (expected all|debug|release)" >&2
+    echo "unknown profile '$PROFILE_FILTER' (expected all|debug|release|fuzz)" >&2
     exit 2
     ;;
 esac
 
-step() { printf '\n=== %s ===\n' "$*"; }
+STEPS_RUN=()
+step() {
+    STEPS_RUN+=("$*")
+    printf '\n=== %s ===\n' "$*"
+}
 
 step "dependency purity"
 if grep -q '^source = ' Cargo.lock; then
@@ -85,7 +102,31 @@ debug)
 release)
     run_profile release --release
     ;;
+fuzz)
+    step "build (release: leakfuzz)"
+    cargo build --release -p ivl-leakfuzz --locked --offline
+    ;;
 esac
+
+# The leak corpus is a cross-profile invariant: replay it in every mode.
+# Debug reuses the debug build; everything else the release build.
+LEAKFUZZ_PROFILE_ARGS=(--release)
+if [ "$PROFILE_FILTER" = "debug" ]; then
+    LEAKFUZZ_PROFILE_ARGS=()
+fi
+step "leak corpus replay"
+cargo run -q "${LEAKFUZZ_PROFILE_ARGS[@]}" -p ivl-leakfuzz --bin leakfuzz \
+    --locked --offline -- replay
+
+if [ "$PROFILE_FILTER" = "fuzz" ]; then
+    FUZZ_BUDGET="${IVL_FUZZ_BUDGET_SECS:-60}"
+    step "leak-search fuzz (budget ${FUZZ_BUDGET}s)"
+    # Exits 2 (failing the script) if any protected scheme flags.
+    cargo run -q --release -p ivl-leakfuzz --bin leakfuzz --locked --offline -- \
+        fuzz --budget-secs "$FUZZ_BUDGET" --out "$(pwd)/target/leakfuzz"
+fi
+
+if [ "$PROFILE_FILTER" != "fuzz" ]; then
 
 step "bench smoke (IVL_BENCH_QUICK=1)"
 # Absolute path: the bench binary's working directory is the bench package,
@@ -136,5 +177,7 @@ if [ "$PROFILE_FILTER" != "debug" ]; then
     fi
 fi
 
-step "done"
-echo "OK: all CI checks passed ($PROFILE_FILTER)"
+fi # PROFILE_FILTER != fuzz
+
+SUMMARY=$(printf '%s; ' "${STEPS_RUN[@]}")
+printf '\nPASS (%s): %s\n' "$PROFILE_FILTER" "${SUMMARY%; }"
