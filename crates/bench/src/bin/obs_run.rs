@@ -20,8 +20,9 @@ use ivl_sim_core::obs::{
     write_stats_json, write_trace_jsonl, Obs, ObsConfig, StatsRegistry, TraceFilter, Tracer,
     DEFAULT_TRACE_CAP,
 };
-use ivl_simulator::{run_mix_observed, RunConfig, SchemeKind};
+use ivl_simulator::{run_mix_observed, run_mix_observed_par, EngineKind, RunConfig, SchemeKind};
 use ivl_workloads::mixes::mix_by_name;
+use ivleague::sharded::{DomainAlloc, ShardedForest};
 
 fn env_path(var: &str, default: &str) -> PathBuf {
     match std::env::var(var) {
@@ -31,6 +32,12 @@ fn env_path(var: &str, default: &str) -> PathBuf {
         _ => PathBuf::from(default),
     }
 }
+
+/// Threads and alloc/free pairs per thread of the embedded sharded-forest
+/// storm; `forest.claims`/`forest.releases` must both land on exactly
+/// `STORM_THREADS * STORM_PAIRS`.
+const STORM_THREADS: usize = 4;
+const STORM_PAIRS: u64 = 5_000;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args()
@@ -70,9 +77,18 @@ fn main() -> ExitCode {
         obs_cfg.trace_filter = TraceFilter::parse(&f);
     }
 
-    eprintln!("[obs_run] simulating {mix_name} under {}", scheme.label());
+    let engine = EngineKind::from_env();
+    eprintln!(
+        "[obs_run] simulating {mix_name} under {} ({engine:?} engine)",
+        scheme.label()
+    );
     let sys = SystemConfig::default();
-    let observed = run_mix_observed(mix, scheme, &run, &sys, &obs_cfg);
+    let observed = match engine {
+        EngineKind::Serial => run_mix_observed(mix, scheme, &run, &sys, &obs_cfg),
+        EngineKind::Par { workers } => {
+            run_mix_observed_par(mix, scheme, &run, &sys, &obs_cfg, workers)
+        }
+    };
 
     // A short attack against the global tree, traced separately; its
     // cycles are offset past the mix run's so the merged stream keeps one
@@ -103,6 +119,36 @@ fn main() -> ExitCode {
     let mut registry = observed.registry;
     registry.set_gauge("attack.accuracy", attack.accuracy);
     registry.set_counter("attack.probes", 2 * attack.samples.len() as u64);
+
+    // Exercise the sharded forest allocator under real threads and export
+    // its contention counters into the same registry (`forest.*`). The
+    // op counts are fixed, so claims/releases reconcile exactly below no
+    // matter how the threads interleave.
+    eprintln!("[obs_run] running sharded-forest storm ({STORM_THREADS} threads)");
+    let forest = ShardedForest::new(16, 64);
+    std::thread::scope(|s| {
+        for t in 0..STORM_THREADS {
+            let forest = &forest;
+            s.spawn(move || {
+                let mut alloc = DomainAlloc::new(
+                    forest,
+                    ivl_sim_core::domain::DomainId::new_unchecked(t as u16 + 1),
+                );
+                let mut held = Vec::new();
+                for i in 0..STORM_PAIRS {
+                    let h = alloc.alloc().expect("storm forest sized for all domains");
+                    held.push(h);
+                    if held.len() == 32 || i + 1 == STORM_PAIRS {
+                        for h in held.drain(..) {
+                            assert!(alloc.free(h), "live handle rejected");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let forest_balanced = forest.fully_free();
+    forest.export_stats("forest", &mut registry);
 
     let trace_path = env_path("IVL_TRACE", "ivl_trace.jsonl");
     let stats_path = env_path("IVL_STATS_JSON", "ivl_stats.json");
@@ -178,6 +224,34 @@ fn main() -> ExitCode {
                 parsed.gauge("attack.accuracy") == Some(attack.accuracy),
                 "attack.accuracy did not round-trip",
             );
+            let expected_pairs = STORM_THREADS as u64 * STORM_PAIRS;
+            check(
+                parsed.counter("forest.claims") == Some(expected_pairs),
+                "forest.claims does not reconcile with the storm's op count",
+            );
+            check(
+                parsed.counter("forest.releases") == Some(expected_pairs),
+                "forest.releases does not reconcile with the storm's op count",
+            );
+            check(forest_balanced, "forest storm left claims behind");
+            if let EngineKind::Par { workers } = engine {
+                // The engine clamps to the mix's generator count, so only
+                // the upper bound is checkable from here.
+                check(
+                    parsed
+                        .counter("par.workers")
+                        .is_some_and(|w| w >= 1 && w <= workers.max(1) as u64),
+                    "par.workers does not reconcile with the engine config",
+                );
+                check(
+                    parsed.counter("par.epoch_waits").is_some(),
+                    "par.epoch_waits missing from a ParSystem run",
+                );
+                check(
+                    parsed.counter("par.backpressure_waits").is_some(),
+                    "par.backpressure_waits missing from a ParSystem run",
+                );
+            }
         }
     }
 

@@ -7,7 +7,9 @@
 //! timing), which would also poison figure reproducibility.
 
 use ivl_bench::run_matrix_on_with_workers;
-use ivl_simulator::{run_mix_with_scheduler, RunConfig, SchedulerKind, SchemeKind};
+use ivl_simulator::{
+    run_mix, run_mix_par, run_mix_with_scheduler, RunConfig, SchedulerKind, SchemeKind,
+};
 use ivl_workloads::mixes::MIXES;
 
 const MAIN_SCHEMES: [SchemeKind; 4] = [
@@ -40,6 +42,37 @@ fn event_calendar_is_bit_identical_to_linear_scan() {
                 "calendar and linear-scan orderings diverged for {}/{scheme:?}",
                 mix.name
             );
+        }
+    }
+}
+
+/// The `ParSystem` engine — real threads stepping one simulated system's
+/// cores via decoupled front-ends — must also be invisible in the
+/// results: serial and parallel figure data have to match **bit-for-bit**
+/// over the full 16-mix × 4-scheme matrix at every worker count. The CI
+/// matrix leg re-runs this test at `IVL_WORKERS ∈ {1, 2, 4, 8}`; without
+/// the variable set it sweeps worker counts 1, 2 and 4 itself. Any
+/// divergence means commit-order state leaked into a producer thread (or
+/// a ring reordered a stream), which would silently change every figure
+/// whenever `IVL_PAR_SYSTEM=1`.
+#[test]
+fn par_system_is_bit_identical_to_serial() {
+    let run = RunConfig::smoke_test();
+    let worker_counts: Vec<usize> = match std::env::var("IVL_WORKERS") {
+        Ok(v) => vec![v.trim().parse().expect("IVL_WORKERS must be a number")],
+        Err(_) => vec![1, 2, 4],
+    };
+    for mix in &MIXES {
+        for scheme in MAIN_SCHEMES {
+            let serial = format!("{:?}", run_mix(mix, scheme, &run));
+            for &workers in &worker_counts {
+                let par = format!("{:?}", run_mix_par(mix, scheme, &run, workers));
+                assert_eq!(
+                    serial, par,
+                    "serial and ParSystem runs diverged for {}/{scheme:?} at {workers} workers",
+                    mix.name
+                );
+            }
         }
     }
 }

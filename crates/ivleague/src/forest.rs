@@ -227,12 +227,14 @@ struct PageEntry {
 pub struct Forest {
     cfg: ForestConfig,
     controller: DomainController,
-    // Fast deterministic hashing: these maps sit on the per-access and
-    // per-alloc hot paths (`slot_of` runs on every LLC miss) and their keys
-    // are simulator-internal, so SipHash's DoS keying buys nothing. No
-    // timing-visible ordering depends on map iteration, so the hasher swap
-    // cannot perturb simulation results.
-    treelings: FxHashMap<TreeLingId, TreeLingState>,
+    // Dense state table indexed by `TreeLingId.0`: TreeLing ids are small
+    // integers bounded by the configured TreeLing count, so an
+    // option-per-slot vector replaces the old hash map — every access the
+    // allocation loops perform becomes one bounds-checked index. Nothing
+    // iterates this table (ownership iteration goes through the
+    // controller's ordered lists), so the layout swap cannot perturb
+    // simulation results.
+    treelings: TreeLingTable,
     /// Authoritative page → (slot, owner) map (the LMM contents). One map
     /// instead of parallel slot/owner maps: a page alloc or free touches a
     /// multi-MiB table once, not twice, which matters because the footprint
@@ -248,13 +250,56 @@ pub struct Forest {
     tid_scratch: Vec<TreeLingId>,
 }
 
+/// Dense TreeLing-state storage, keyed by [`TreeLingId`]. Mimics the map
+/// API (`get`/`get_mut`/`insert`/`remove`/index) the forest code uses so
+/// the call sites read identically to the hash-map era.
+#[derive(Debug, Default)]
+struct TreeLingTable {
+    slots: Vec<Option<TreeLingState>>,
+}
+
+impl TreeLingTable {
+    fn with_capacity(n: u32) -> Self {
+        TreeLingTable {
+            slots: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    fn get(&self, t: &TreeLingId) -> Option<&TreeLingState> {
+        self.slots.get(t.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn get_mut(&mut self, t: &TreeLingId) -> Option<&mut TreeLingState> {
+        self.slots.get_mut(t.0 as usize).and_then(Option::as_mut)
+    }
+
+    fn insert(&mut self, t: TreeLingId, state: TreeLingState) {
+        let i = t.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i] = Some(state);
+    }
+
+    fn remove(&mut self, t: &TreeLingId) -> Option<TreeLingState> {
+        self.slots.get_mut(t.0 as usize).and_then(Option::take)
+    }
+}
+
+impl std::ops::Index<&TreeLingId> for TreeLingTable {
+    type Output = TreeLingState;
+    fn index(&self, t: &TreeLingId) -> &TreeLingState {
+        self.get(t).expect("TreeLing active")
+    }
+}
+
 impl Forest {
     /// Creates an empty forest.
     pub fn new(cfg: ForestConfig) -> Self {
         Forest {
             controller: DomainController::new(cfg.treeling_count),
+            treelings: TreeLingTable::with_capacity(cfg.treeling_count),
             cfg,
-            treelings: FxHashMap::default(),
             pages: FxHashMap::default(),
             mapped_per_domain: FxHashMap::default(),
             stats: ForestStats {

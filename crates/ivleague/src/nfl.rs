@@ -42,11 +42,54 @@ struct Entry {
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Block {
     entries: Vec<Entry>,
+    /// Occupancy mask: bit `i` set ⇔ `entries[i].avail != 0`. Maintained on
+    /// every `avail` mutation so both scans the state machine performs —
+    /// "first entry with availability" (allocation) and "first fully-
+    /// assigned entry" (replacement on free) — collapse to one
+    /// `trailing_zeros` instead of a linear walk.
+    avail_bits: u64,
 }
 
 impl Block {
+    fn new(entries: Vec<Entry>) -> Self {
+        let mut avail_bits = 0u64;
+        for (i, e) in entries.iter().enumerate() {
+            if e.avail != 0 {
+                avail_bits |= 1 << i;
+            }
+        }
+        Block {
+            entries,
+            avail_bits,
+        }
+    }
+
     fn fully_mapped(&self) -> bool {
-        self.entries.iter().all(|e| e.avail == 0)
+        self.avail_bits == 0
+    }
+
+    /// Index of the first entry with available slots (the allocation scan).
+    fn first_available(&self) -> Option<usize> {
+        if self.avail_bits == 0 {
+            None
+        } else {
+            Some(self.avail_bits.trailing_zeros() as usize)
+        }
+    }
+
+    /// Index of the first fully-assigned entry (the replacement scan).
+    fn first_fully_assigned(&self) -> Option<usize> {
+        let len_mask = if self.entries.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.entries.len()) - 1
+        };
+        let used = !self.avail_bits & len_mask;
+        if used == 0 {
+            None
+        } else {
+            Some(used.trailing_zeros() as usize)
+        }
     }
 }
 
@@ -107,7 +150,10 @@ impl Nfl {
             (1..=8).contains(&slots_per_node),
             "availability vector is 8 bits"
         );
-        assert!(entries_per_block > 0);
+        assert!(
+            (1..=64).contains(&entries_per_block),
+            "occupancy mask is 64 bits"
+        );
         let full_mask = if slots_per_node == 8 {
             0xFF
         } else {
@@ -116,14 +162,16 @@ impl Nfl {
         let free_tracked = tags.len() as u64 * slots_per_node as u64;
         let blocks = tags
             .chunks(entries_per_block)
-            .map(|chunk| Block {
-                entries: chunk
-                    .iter()
-                    .map(|&tag| Entry {
-                        tag,
-                        avail: full_mask,
-                    })
-                    .collect(),
+            .map(|chunk| {
+                Block::new(
+                    chunk
+                        .iter()
+                        .map(|&tag| Entry {
+                            tag,
+                            avail: full_mask,
+                        })
+                        .collect(),
+                )
             })
             .collect();
         Nfl {
@@ -161,10 +209,14 @@ impl Nfl {
         loop {
             let head = self.head;
             let block = self.blocks.get_mut(head)?;
-            if let Some(entry) = block.entries.iter_mut().find(|e| e.avail != 0) {
+            if let Some(ei) = block.first_available() {
+                let entry = &mut block.entries[ei];
                 let slot = entry.avail.trailing_zeros() as u8;
                 entry.avail &= !(1 << slot);
                 let tag = entry.tag;
+                if entry.avail == 0 {
+                    block.avail_bits &= !(1 << ei);
+                }
                 ops.push(NflOp {
                     block: head as u32,
                     write: true,
@@ -200,8 +252,12 @@ impl Nfl {
         let head = self.head.min(self.blocks.len() - 1);
 
         // Case (d): in-place update on a tag match in the current block.
-        if let Some(entry) = self.blocks[head].entries.iter_mut().find(|e| e.tag == tag) {
-            entry.avail |= 1 << slot;
+        // (A tag search, not an occupancy question — the mask cannot answer
+        // it, so this probe stays a scan over the ≤ 8-entry block.)
+        if let Some(ei) = self.blocks[head].entries.iter().position(|e| e.tag == tag) {
+            let block = &mut self.blocks[head];
+            block.entries[ei].avail |= 1 << slot;
+            block.avail_bits |= 1 << ei;
             self.free_tracked += 1;
             ops.push(NflOp {
                 block: head as u32,
@@ -217,11 +273,13 @@ impl Nfl {
             block: head as u32,
             write: false,
         });
-        if let Some(entry) = self.blocks[head].entries.iter_mut().find(|e| e.avail == 0) {
-            *entry = Entry {
+        if let Some(ei) = self.blocks[head].first_fully_assigned() {
+            let block = &mut self.blocks[head];
+            block.entries[ei] = Entry {
                 tag,
                 avail: 1 << slot,
             };
+            block.avail_bits |= 1 << ei;
             self.free_tracked += 1;
             ops.push(NflOp {
                 block: head as u32,
@@ -247,6 +305,7 @@ impl Nfl {
                 tag,
                 avail: 1 << slot,
             };
+            self.blocks[prev].avail_bits |= 1;
             self.free_tracked += 1;
             self.head = prev;
             return FreeOutcome::Tracked(ops);
@@ -257,11 +316,19 @@ impl Nfl {
         FreeOutcome::Fallback(ops)
     }
 
-    /// Test/verification helper: checks the head invariant.
+    /// Test/verification helper: checks the head invariant and that every
+    /// block's occupancy mask agrees with its entries.
     pub fn invariant_holds(&self) -> bool {
-        self.blocks[..self.head.min(self.blocks.len())]
-            .iter()
-            .all(Block::fully_mapped)
+        let masks_consistent = self.blocks.iter().all(|b| {
+            b.entries
+                .iter()
+                .enumerate()
+                .all(|(i, e)| (b.avail_bits >> i) & 1 == u64::from(e.avail != 0))
+        });
+        masks_consistent
+            && self.blocks[..self.head.min(self.blocks.len())]
+                .iter()
+                .all(Block::fully_mapped)
     }
 }
 

@@ -1,0 +1,513 @@
+//! Sharded, atomics-driven leaf-slot allocator over the TreeLing forest.
+//!
+//! The serial [`Forest`](crate::forest::Forest) walks NFL blocks under a
+//! single thread because it *is* the timing model — every touched NFL block
+//! is a memory-traffic event. For scale campaigns ("millions of tenants",
+//! ROADMAP item 2) the bottleneck is the opposite: many domains allocating
+//! and releasing leaf slots concurrently, where only the *occupancy* truth
+//! matters. This module is that substrate, shaped after the llfree
+//! allocator (PAPERS.md): per-TreeLing leaf-occupancy **bitsets** claimed
+//! with 64-bit CAS, a per-TreeLing (= per-shard) second-level **free
+//! counter** used as a cheap scan hint, and the lock-free
+//! [`FreeTreeLingList`] FIFO recycling whole TreeLings between domains.
+//!
+//! Concurrency protocol:
+//!
+//! * A TreeLing is *owned* by at most one domain at a time; its owner word
+//!   packs `epoch << 16 | domain_index + 1`. Claim/release calls for a
+//!   TreeLing are issued by the owning domain's thread(s); releases carry
+//!   the epoch they were claimed under and are **rejected deterministically
+//!   when stale** — that epoch check is the ABA/recycling guard the storm
+//!   tests pin (a handle that survives its domain's destruction can never
+//!   corrupt the TreeLing's next owner).
+//! * `claim` scans the bitset words of one TreeLing and CAS-sets one bit;
+//!   a lost CAS re-reads the word and retries (counted in `cas_retries`).
+//! * The free counter is a hint, not a lock: claims decrement after the
+//!   CAS lands, releases increment after the bit clears, so it can lag the
+//!   bitset transiently but never underflows (every decrement follows a
+//!   won bit, every increment a cleared one; per slot those alternate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::obs::StatsRegistry;
+
+use crate::domains::FreeTreeLingList;
+use crate::geometry::TreeLingId;
+
+/// One 64-byte line of per-TreeLing metadata. `Box<[MetaLine]>` respects
+/// the element alignment, so whole cache lines — not arbitrary offsets
+/// into a flat word array — are the unit of sharing between threads.
+/// Without this padding, adjacent TreeLings' one-word bitsets and
+/// counters land on common lines and threads working disjoint TreeLings
+/// still bounce coherence traffic on every claim.
+#[repr(align(64))]
+#[derive(Debug)]
+struct MetaLine([AtomicU64; CELLS_PER_LINE]);
+
+impl MetaLine {
+    fn zeroed() -> Self {
+        MetaLine(std::array::from_fn(|_| AtomicU64::new(0)))
+    }
+}
+
+/// Cells (u64 slots) per metadata line.
+const CELLS_PER_LINE: usize = 8;
+/// Per-TreeLing header cells ahead of the bitset words: the owner/epoch
+/// word and the free counter.
+const HDR_CELLS: usize = 2;
+
+/// Stripes of the contention counters; a power of two no smaller than
+/// the thread counts the storms drive.
+const STAT_STRIPES: usize = 16;
+
+/// A cache-line-padded counter cell.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+/// An add-heavy monotonic counter striped over padded cells: writers add
+/// into the stripe of the TreeLing (or domain) they are working, so
+/// threads on disjoint shards never bounce a shared counter line;
+/// readers sum all stripes.
+#[derive(Debug, Default)]
+pub struct StripedCounter {
+    cells: [PaddedCell; STAT_STRIPES],
+}
+
+impl StripedCounter {
+    fn add(&self, stripe: usize) {
+        self.cells[stripe % STAT_STRIPES]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current total over all stripes.
+    pub fn load(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A claimed leaf slot: position plus the ownership epoch it was claimed
+/// under. Releasing with a stale epoch is a deterministic no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotHandle {
+    /// TreeLing the slot lives in.
+    pub treeling: TreeLingId,
+    /// Leaf index within the TreeLing (`0..leaf_capacity`).
+    pub leaf: u32,
+    /// Ownership epoch of the TreeLing at claim time.
+    pub epoch: u64,
+}
+
+/// Contention/usage counters, all monotonic and thread-safe.
+#[derive(Debug, Default)]
+pub struct ShardedStats {
+    /// Lost bitset-CAS attempts during claims.
+    pub cas_retries: StripedCounter,
+    /// Allocations served from a non-current TreeLing of the same domain.
+    pub shard_steals: StripedCounter,
+    /// Releases rejected because the TreeLing changed hands (stale epoch).
+    pub stale_rejects: StripedCounter,
+    /// Allocation attempts that found no TreeLing available.
+    pub starvation: StripedCounter,
+    /// Successful slot claims.
+    pub claims: StripedCounter,
+    /// Successful slot releases.
+    pub releases: StripedCounter,
+}
+
+/// The concurrent allocator: occupancy bitsets + free counters + owner
+/// words per TreeLing, and the shared recycling FIFO.
+#[derive(Debug)]
+pub struct ShardedForest {
+    /// Per-TreeLing metadata, `lines_per_treeling` whole cache lines each:
+    /// cell 0 = `epoch << 16 | domain_index + 1` (low half 0 ⇔ unowned),
+    /// cell 1 = free-slot counter (scan hint), cells 2.. = leaf-occupancy
+    /// bitset words (bit set ⇔ leaf claimed).
+    meta: Box<[MetaLine]>,
+    lines_per_treeling: usize,
+    free_list: FreeTreeLingList,
+    stats: ShardedStats,
+    treeling_count: u32,
+    leaf_capacity: u32,
+    words_per_treeling: usize,
+    /// Bits of the final (possibly partial) word that map to real leaves.
+    last_word_mask: u64,
+}
+
+impl ShardedForest {
+    /// Creates a forest of `treeling_count` TreeLings with `leaf_capacity`
+    /// claimable leaf slots each, all unowned and free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(treeling_count: u32, leaf_capacity: u32) -> Self {
+        assert!(treeling_count > 0, "need at least one TreeLing");
+        assert!(leaf_capacity > 0, "need at least one leaf slot");
+        let words_per_treeling = leaf_capacity.div_ceil(64) as usize;
+        let lines_per_treeling = (HDR_CELLS + words_per_treeling).div_ceil(CELLS_PER_LINE);
+        let tail_bits = leaf_capacity % 64;
+        let mut meta: Vec<MetaLine> = (0..lines_per_treeling * treeling_count as usize)
+            .map(|_| MetaLine::zeroed())
+            .collect();
+        for t in 0..treeling_count as usize {
+            // Cell 1 of each TreeLing's first line: the free counter.
+            *meta[t * lines_per_treeling].0[1].get_mut() = leaf_capacity as u64;
+        }
+        ShardedForest {
+            meta: meta.into_boxed_slice(),
+            lines_per_treeling,
+            free_list: FreeTreeLingList::new(treeling_count),
+            stats: ShardedStats::default(),
+            treeling_count,
+            leaf_capacity,
+            words_per_treeling,
+            last_word_mask: if tail_bits == 0 {
+                u64::MAX
+            } else {
+                (1u64 << tail_bits) - 1
+            },
+        }
+    }
+
+    fn cell(&self, t: usize, c: usize) -> &AtomicU64 {
+        &self.meta[t * self.lines_per_treeling + c / CELLS_PER_LINE].0[c % CELLS_PER_LINE]
+    }
+
+    /// `epoch << 16 | domain_index + 1`; low half 0 ⇔ unowned.
+    fn owner(&self, t: usize) -> &AtomicU64 {
+        self.cell(t, 0)
+    }
+
+    fn free_count(&self, t: usize) -> &AtomicU64 {
+        self.cell(t, 1)
+    }
+
+    fn word(&self, t: usize, wi: usize) -> &AtomicU64 {
+        self.cell(t, HDR_CELLS + wi)
+    }
+
+    /// TreeLings in the forest.
+    pub fn treeling_count(&self) -> u32 {
+        self.treeling_count
+    }
+
+    /// Claimable leaves per TreeLing.
+    pub fn leaf_capacity(&self) -> u32 {
+        self.leaf_capacity
+    }
+
+    /// Contention/usage counters.
+    pub fn stats(&self) -> &ShardedStats {
+        &self.stats
+    }
+
+    /// TreeLings currently on the recycling FIFO.
+    pub fn unassigned(&self) -> usize {
+        self.free_list.len()
+    }
+
+    fn word_mask(&self, wi: usize) -> u64 {
+        if wi + 1 == self.words_per_treeling {
+            self.last_word_mask
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Pulls an unassigned TreeLing off the FIFO for `domain`. The caller's
+    /// thread owns it exclusively until [`release_treeling`].
+    ///
+    /// [`release_treeling`]: Self::release_treeling
+    pub fn acquire_treeling(&self, domain: DomainId) -> Option<TreeLingId> {
+        let Some(tid) = self.free_list.pop() else {
+            self.stats.starvation.add(domain.index());
+            return None;
+        };
+        let owner = self.owner(tid.0 as usize);
+        // Only the popping thread touches an unowned TreeLing, so a plain
+        // store suffices; the epoch half is preserved across owners.
+        let epoch = owner.load(Ordering::Acquire) >> 16;
+        owner.store(epoch << 16 | (domain.index() as u64 + 1), Ordering::Release);
+        Some(tid)
+    }
+
+    /// Claims one free leaf in `treeling`. Returns `None` when the TreeLing
+    /// is (or transiently looks) full.
+    pub fn claim(&self, treeling: TreeLingId) -> Option<SlotHandle> {
+        let t = treeling.0 as usize;
+        if self.free_count(t).load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let epoch = self.owner(t).load(Ordering::Acquire) >> 16;
+        for wi in 0..self.words_per_treeling {
+            let word = self.word(t, wi);
+            let mut cur = word.load(Ordering::Relaxed);
+            loop {
+                let free = !cur & self.word_mask(wi);
+                if free == 0 {
+                    break; // word full, next word
+                }
+                let bit = free.trailing_zeros();
+                match word.compare_exchange_weak(
+                    cur,
+                    cur | 1 << bit,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        self.free_count(t).fetch_sub(1, Ordering::Relaxed);
+                        self.stats.claims.add(t);
+                        return Some(SlotHandle {
+                            treeling,
+                            leaf: wi as u32 * 64 + bit,
+                            epoch,
+                        });
+                    }
+                    Err(seen) => {
+                        self.stats.cas_retries.add(t);
+                        cur = seen;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Releases a claimed slot. Returns `false` — and changes nothing —
+    /// when the handle's epoch is stale (the TreeLing was recycled since),
+    /// which is the deterministic anti-aliasing guarantee.
+    pub fn release(&self, handle: SlotHandle) -> bool {
+        let t = handle.treeling.0 as usize;
+        let epoch = self.owner(t).load(Ordering::Acquire) >> 16;
+        if epoch != handle.epoch {
+            self.stats.stale_rejects.add(t);
+            return false;
+        }
+        let wi = (handle.leaf / 64) as usize;
+        let bit = handle.leaf % 64;
+        let prev = self.word(t, wi).fetch_and(!(1u64 << bit), Ordering::AcqRel);
+        debug_assert!(prev & 1 << bit != 0, "releasing a free slot");
+        self.free_count(t).fetch_add(1, Ordering::Relaxed);
+        self.stats.releases.add(t);
+        true
+    }
+
+    /// Returns `treeling` to the FIFO: clears its bitset, refills its free
+    /// counter, bumps the ownership epoch (invalidating every outstanding
+    /// handle), and enqueues it for the next domain. Must be called by the
+    /// owning domain's thread.
+    pub fn release_treeling(&self, treeling: TreeLingId) {
+        let t = treeling.0 as usize;
+        for wi in 0..self.words_per_treeling {
+            self.word(t, wi).store(0, Ordering::Release);
+        }
+        self.free_count(t)
+            .store(self.leaf_capacity as u64, Ordering::Release);
+        let owner = self.owner(t);
+        let epoch = owner.load(Ordering::Acquire) >> 16;
+        // Bump the epoch *and* drop the owner in one store: outstanding
+        // SlotHandles for the old incarnation turn stale atomically.
+        owner.store((epoch + 1) << 16, Ordering::Release);
+        self.free_list.push(treeling);
+    }
+
+    /// Whether every TreeLing is unowned, fully free, and back on the FIFO
+    /// (end-of-storm accounting for the tests).
+    pub fn fully_free(&self) -> bool {
+        self.free_list.len() == self.treeling_count as usize
+            && (0..self.treeling_count as usize).all(|t| {
+                self.owner(t).load(Ordering::Acquire) & 0xFFFF == 0
+                    && self.free_count(t).load(Ordering::Acquire) == self.leaf_capacity as u64
+                    && (0..self.words_per_treeling)
+                        .all(|wi| self.word(t, wi).load(Ordering::Acquire) == 0)
+            })
+    }
+
+    /// Exports the contention counters under `prefix` (the `forest.*`
+    /// namespace of the ISSUE's observability satellite).
+    pub fn export_stats(&self, prefix: &str, reg: &mut StatsRegistry) {
+        let s = &self.stats;
+        reg.set_counter(
+            &format!("{prefix}.cas_retries"),
+            s.cas_retries.load() + self.free_list.cas_retries(),
+        );
+        reg.set_counter(&format!("{prefix}.shard_steals"), s.shard_steals.load());
+        reg.set_counter(&format!("{prefix}.stale_rejects"), s.stale_rejects.load());
+        reg.set_counter(&format!("{prefix}.starvation"), s.starvation.load());
+        reg.set_counter(&format!("{prefix}.claims"), s.claims.load());
+        reg.set_counter(&format!("{prefix}.releases"), s.releases.load());
+    }
+}
+
+/// Per-domain allocation front over a shared [`ShardedForest`]: owns the
+/// domain's TreeLing list and a cursor, mirroring the serial controller's
+/// "exhaust the current TreeLing, then grow" policy.
+#[derive(Debug)]
+pub struct DomainAlloc<'a> {
+    forest: &'a ShardedForest,
+    domain: DomainId,
+    owned: Vec<TreeLingId>,
+    /// Index into `owned` of the TreeLing serving allocations.
+    cursor: usize,
+}
+
+impl<'a> DomainAlloc<'a> {
+    /// A fresh, TreeLing-less allocation front for `domain`.
+    pub fn new(forest: &'a ShardedForest, domain: DomainId) -> Self {
+        DomainAlloc {
+            forest,
+            domain,
+            owned: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// TreeLings currently owned, in acquisition order.
+    pub fn owned(&self) -> &[TreeLingId] {
+        &self.owned
+    }
+
+    /// Claims a leaf slot: current TreeLing first, then the domain's other
+    /// TreeLings (a *shard steal*), then a fresh TreeLing from the FIFO.
+    /// `None` means TreeLing starvation (counted on the forest).
+    pub fn alloc(&mut self) -> Option<SlotHandle> {
+        if let Some(&tid) = self.owned.get(self.cursor) {
+            if let Some(h) = self.forest.claim(tid) {
+                return Some(h);
+            }
+        }
+        for (i, &tid) in self.owned.iter().enumerate() {
+            if i == self.cursor {
+                continue;
+            }
+            if let Some(h) = self.forest.claim(tid) {
+                self.forest.stats.shard_steals.add(self.domain.index());
+                self.cursor = i;
+                return Some(h);
+            }
+        }
+        let tid = self.forest.acquire_treeling(self.domain)?;
+        self.owned.push(tid);
+        self.cursor = self.owned.len() - 1;
+        self.forest.claim(tid)
+    }
+
+    /// Releases a slot claimed from this forest. Stale handles are
+    /// rejected (returns `false`).
+    pub fn free(&self, handle: SlotHandle) -> bool {
+        self.forest.release(handle)
+    }
+
+    /// Destroys the domain: every owned TreeLing goes back to the FIFO
+    /// with a bumped epoch. Outstanding handles become stale.
+    pub fn destroy(&mut self) {
+        for tid in self.owned.drain(..) {
+            self.forest.release_treeling(tid);
+        }
+        self.cursor = 0;
+    }
+}
+
+impl Drop for DomainAlloc<'_> {
+    fn drop(&mut self) {
+        self.destroy();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u16) -> DomainId {
+        DomainId::new_unchecked(i)
+    }
+
+    #[test]
+    fn claims_fill_a_treeling_then_grow() {
+        let f = ShardedForest::new(4, 70); // two words, partial tail
+        let mut a = DomainAlloc::new(&f, d(1));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..70 {
+            let h = a.alloc().expect("first TreeLing has room");
+            assert!(seen.insert((h.treeling, h.leaf)), "no slot handed twice");
+        }
+        assert_eq!(a.owned().len(), 1);
+        let h = a.alloc().expect("second TreeLing");
+        assert_eq!(a.owned().len(), 2);
+        assert!(h.leaf < 70);
+        assert_eq!(f.stats().claims.load(), 71);
+    }
+
+    #[test]
+    fn release_returns_slots_for_reuse() {
+        let f = ShardedForest::new(1, 8);
+        let mut a = DomainAlloc::new(&f, d(0));
+        let handles: Vec<_> = (0..8).map(|_| a.alloc().unwrap()).collect();
+        assert!(a.alloc().is_none(), "full TreeLing, empty FIFO");
+        assert!(a.free(handles[3]));
+        let h = a.alloc().unwrap();
+        assert_eq!(h.leaf, 3, "lowest free bit is reused");
+    }
+
+    #[test]
+    fn stale_epoch_release_is_rejected() {
+        let f = ShardedForest::new(2, 8);
+        let mut a = DomainAlloc::new(&f, d(0));
+        let h = a.alloc().unwrap();
+        a.destroy();
+        // The TreeLing recycled into another domain: the old handle must
+        // bounce even if the same leaf is claimed again.
+        let mut b = DomainAlloc::new(&f, d(1));
+        let h2 = b.alloc().unwrap();
+        assert!(!f.release(h), "stale handle rejected");
+        assert_eq!(f.stats().stale_rejects.load(), 1);
+        assert!(f.release(h2), "fresh handle accepted");
+    }
+
+    #[test]
+    fn starvation_is_counted_not_fatal() {
+        let f = ShardedForest::new(1, 4);
+        let mut a = DomainAlloc::new(&f, d(0));
+        for _ in 0..4 {
+            a.alloc().unwrap();
+        }
+        assert!(a.alloc().is_none());
+        assert_eq!(f.stats().starvation.load(), 1);
+    }
+
+    #[test]
+    fn destroy_restores_full_accounting() {
+        let f = ShardedForest::new(3, 100);
+        {
+            let mut a = DomainAlloc::new(&f, d(0));
+            let mut b = DomainAlloc::new(&f, d(1));
+            for _ in 0..150 {
+                a.alloc().unwrap();
+            }
+            for _ in 0..40 {
+                b.alloc().unwrap();
+            }
+            a.destroy();
+            b.destroy();
+        }
+        assert!(f.fully_free(), "all TreeLings free and queued");
+        assert_eq!(f.unassigned(), 3);
+    }
+
+    #[test]
+    fn export_stats_lands_in_the_forest_namespace() {
+        let f = ShardedForest::new(2, 8);
+        let mut a = DomainAlloc::new(&f, d(0));
+        let h = a.alloc().unwrap();
+        a.free(h);
+        let mut reg = StatsRegistry::new();
+        f.export_stats("forest", &mut reg);
+        assert_eq!(reg.counter("forest.claims"), Some(1));
+        assert_eq!(reg.counter("forest.releases"), Some(1));
+        assert_eq!(reg.counter("forest.cas_retries"), Some(0));
+        assert_eq!(reg.counter("forest.shard_steals"), Some(0));
+    }
+}

@@ -1,0 +1,239 @@
+//! Concurrency storms over the sharded forest allocator.
+//!
+//! The property these tests pin is **no stale TreeLing aliasing across
+//! domain-ID recycling**: once a domain destroys itself, its TreeLings go
+//! back through the lock-free FIFO to other (possibly reused) domain IDs,
+//! and no handle from the old incarnation may ever touch the new owner's
+//! slots. The multi-threaded storm drives claims through a scoreboard of
+//! per-slot atomic owner tags, so any aliasing — a FIFO double-hand-out,
+//! a claim race, a stale release slipping the epoch check — trips an
+//! assertion on the spot instead of silently corrupting accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ivl_sim_core::domain::DomainId;
+use ivl_testkit::prelude::*;
+use ivleague::sharded::{DomainAlloc, ShardedForest, SlotHandle};
+
+/// Per-slot ownership scoreboard: `0` free, else `thread id + 1`. Claims
+/// and frees swap their tag in and out, so overlapping ownership of one
+/// slot by two threads (under live epochs) is detected immediately.
+struct Scoreboard {
+    tags: Vec<AtomicU64>,
+    leaf_capacity: u32,
+}
+
+impl Scoreboard {
+    fn new(forest: &ShardedForest) -> Self {
+        let slots = forest.treeling_count() as usize * forest.leaf_capacity() as usize;
+        Scoreboard {
+            tags: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            leaf_capacity: forest.leaf_capacity(),
+        }
+    }
+
+    fn slot(&self, h: &SlotHandle) -> &AtomicU64 {
+        &self.tags[h.treeling.0 as usize * self.leaf_capacity as usize + h.leaf as usize]
+    }
+
+    fn claim(&self, h: &SlotHandle, tid: u64) {
+        let prev = self.slot(h).swap(tid + 1, Ordering::AcqRel);
+        assert_eq!(
+            prev, 0,
+            "slot {h:?} claimed by thread {tid} was already owned by tag {prev}: \
+             two live claims aliased one leaf"
+        );
+    }
+
+    fn release(&self, h: &SlotHandle, tid: u64) {
+        let prev = self.slot(h).swap(0, Ordering::AcqRel);
+        assert_eq!(
+            prev,
+            tid + 1,
+            "thread {tid} released slot {h:?} it did not own (tag {prev}): \
+             ownership leaked across recycling"
+        );
+    }
+}
+
+/// Tiny deterministic PRNG so each thread's storm is reproducible.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Eight threads alloc/free/destroy against one forest, recycling
+/// TreeLings through the FIFO between reused domain IDs the whole time.
+#[test]
+fn concurrent_storm_never_aliases_recycled_treelings() {
+    const THREADS: u64 = 8;
+    const ROUNDS: usize = 60;
+    const OPS_PER_ROUND: usize = 400;
+
+    let forest = ShardedForest::new(24, 70);
+    let scoreboard = Scoreboard::new(&forest);
+
+    std::thread::scope(|s| {
+        for tid in 0..THREADS {
+            let forest = &forest;
+            let scoreboard = &scoreboard;
+            s.spawn(move || {
+                let mut rng = 0x5EED ^ (tid << 8);
+                // Domain IDs deliberately collide across threads (tid % 4):
+                // recycling must be safe even when a *different thread*
+                // reuses the same domain ID.
+                let domain = DomainId::new_unchecked((tid % 4) as u16 + 1);
+                let mut stale: Vec<SlotHandle> = Vec::new();
+                for _round in 0..ROUNDS {
+                    let mut alloc = DomainAlloc::new(forest, domain);
+                    let mut held: Vec<SlotHandle> = Vec::new();
+                    for _op in 0..OPS_PER_ROUND {
+                        match next_rand(&mut rng) % 3 {
+                            0 | 1 => {
+                                // Starvation under contention is legal
+                                // (counted, not fatal) — just move on.
+                                if let Some(h) = alloc.alloc() {
+                                    scoreboard.claim(&h, tid);
+                                    held.push(h);
+                                }
+                            }
+                            _ => {
+                                if !held.is_empty() {
+                                    let i = next_rand(&mut rng) as usize % held.len();
+                                    let h = held.swap_remove(i);
+                                    scoreboard.release(&h, tid);
+                                    assert!(alloc.free(h), "live-epoch release rejected for {h:?}");
+                                }
+                            }
+                        }
+                    }
+                    // Hand everything back and recycle the TreeLings: the
+                    // still-held handles turn stale by the epoch bump.
+                    for h in &held {
+                        scoreboard.release(h, tid);
+                    }
+                    stale.append(&mut held);
+                    alloc.destroy();
+                    // Stale handles from any earlier incarnation must be
+                    // rejected without touching the new owner's state.
+                    for _ in 0..4 {
+                        if stale.is_empty() {
+                            break;
+                        }
+                        let i = next_rand(&mut rng) as usize % stale.len();
+                        let h = stale.swap_remove(i);
+                        assert!(
+                            !forest.release(h),
+                            "stale handle {h:?} was accepted after its TreeLing \
+                             was recycled"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(
+        forest.fully_free(),
+        "storm left the forest unbalanced: {:?}",
+        forest.stats()
+    );
+    let claims = forest.stats().claims.load();
+    assert!(claims > 0, "storm never claimed anything");
+    // Every stale replay above must have been rejected, never absorbed.
+    let stale_rejects = forest.stats().stale_rejects.load();
+    assert!(stale_rejects > 0, "storm never exercised the epoch guard");
+}
+
+/// A destroyed domain's handles stay dead even while another thread is
+/// actively reusing the recycled TreeLing.
+#[test]
+fn stale_handles_stay_dead_while_new_owner_runs() {
+    let forest = ShardedForest::new(1, 64);
+    let d1 = DomainId::new_unchecked(1);
+    let d2 = DomainId::new_unchecked(2);
+
+    let mut first = DomainAlloc::new(&forest, d1);
+    let stale: Vec<SlotHandle> = (0..8)
+        .map(|_| first.alloc().expect("empty forest"))
+        .collect();
+    first.destroy();
+
+    let mut second = DomainAlloc::new(&forest, d2);
+    let live = second.alloc().expect("recycled TreeLing must be claimable");
+    std::thread::scope(|s| {
+        let forest = &forest;
+        let stale_ref = &stale;
+        s.spawn(move || {
+            for h in stale_ref {
+                assert!(!forest.release(*h), "stale {h:?} accepted");
+            }
+        });
+        // Main thread keeps the new incarnation busy concurrently.
+        for _ in 0..32 {
+            if let Some(h) = second.alloc() {
+                assert!(second.free(h));
+            }
+        }
+    });
+    assert!(second.free(live));
+    second.destroy();
+    assert!(forest.fully_free());
+    assert_eq!(forest.stats().stale_rejects.load(), 8);
+}
+
+props! {
+    /// Single-threaded oracle: the sharded forest against a naive set
+    /// model over a random op tape. Claims must hand out exactly the
+    /// slots the model says are free; counters must reconcile at the end.
+    #[test]
+    fn matches_a_set_model_single_threaded(
+        seed in any::<u64>(),
+        treelings in 1u32..6,
+        leaves in 1u32..130,
+        ops in 1usize..400,
+    ) {
+        let forest = ShardedForest::new(treelings, leaves);
+        let domain = DomainId::new_unchecked(1);
+        let mut alloc = DomainAlloc::new(&forest, domain);
+        let mut model: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        let mut held: Vec<SlotHandle> = Vec::new();
+        let mut rng = seed | 1;
+        for _ in 0..ops {
+            if next_rand(&mut rng).is_multiple_of(2) {
+                match alloc.alloc() {
+                    Some(h) => {
+                        prop_assert!(h.leaf < leaves);
+                        prop_assert!(
+                            model.insert((h.treeling.0, h.leaf)),
+                            "claim returned an occupied slot"
+                        );
+                        held.push(h);
+                    }
+                    None => {
+                        // Single-threaded: starvation can only be real
+                        // exhaustion of the whole forest.
+                        prop_assert_eq!(
+                            model.len() as u64,
+                            treelings as u64 * leaves as u64
+                        );
+                    }
+                }
+            } else if !held.is_empty() {
+                let i = next_rand(&mut rng) as usize % held.len();
+                let h = held.swap_remove(i);
+                prop_assert!(model.remove(&(h.treeling.0, h.leaf)));
+                prop_assert!(alloc.free(h));
+            }
+        }
+        let stats = forest.stats();
+        prop_assert_eq!(
+            stats.claims.load() - stats.releases.load(),
+            model.len() as u64
+        );
+        alloc.destroy();
+        prop_assert!(forest.fully_free());
+    }
+}

@@ -121,6 +121,12 @@ impl<T> EventCalendar<T> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// `(cycle, tie)` of the earliest entry without removing it — the key
+    /// the sharded calendar merge compares across shards.
+    pub fn peek_key(&self) -> Option<(Cycle, u64)> {
+        self.heap.peek().map(|e| (e.at, e.tie))
+    }
+
     /// Number of scheduled entries.
     pub fn len(&self) -> usize {
         self.heap.len()

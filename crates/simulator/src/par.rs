@@ -1,0 +1,765 @@
+//! `ParSystem`: stepping one simulated system's cores on real threads.
+//!
+//! # Why a decoupled front-end, not a parallel back-end
+//!
+//! The serial engine's hot loop is *order-dependent end to end*: the LLC,
+//! the integrity scheme, and the DRAM model are shared by every core, and
+//! the figures are pinned bit-identical across refactors. Classic PDES
+//! tricks (epoch barriers, optimistic rollback, domain partitioning) all
+//! change — or cannot cheaply preserve — the loose global ordering the
+//! serial loop realizes, so they are off the table.
+//!
+//! What *is* order-free is the front of the pipeline:
+//!
+//! * **Trace generation.** [`TraceGenerator::next_event`] takes no
+//!   arguments: a process's event stream is a pure function of its seed,
+//!   independent of when the consumer asks. Producers can run arbitrarily
+//!   far ahead.
+//! * **Private L2s of single-threaded processes.** When a process has one
+//!   core (`threads_per_process() == 1`), its private L2 sees exactly its
+//!   own stream in stream order — also consumer-order-independent. The
+//!   producer simulates the L2 *ahead of time* and stamps each event with
+//!   the outcome (hit, dirty victim, cumulative tally). The L1 is dead
+//!   state in the serial loop (only ever invalidated, never read or
+//!   exported), so nobody simulates it at all.
+//!
+//! Worker threads therefore own the generators (plus, for single-core
+//! processes, the private L2s) and stream pre-computed [`FrontEv`]s
+//! through bounded SPSC rings. The commit thread — the caller — replays
+//! the **exact serial algorithm**, consuming events from rings instead of
+//! calling `next_event()` inline: same sharded-calendar pop order, same
+//! shared LLC/scheme/DRAM mutation order, same cycle arithmetic. The
+//! result is byte-identical to the serial oracle at any worker count,
+//! which the determinism suite asserts over the full mix × scheme matrix.
+//!
+//! Processes with multiple cores (M/H mixes) share one generator across
+//! cores, and which core consumes the next event is a commit-order
+//! question — so their cores get generation-prefetch only, and the commit
+//! thread runs their private L2s inline exactly like the serial engine.
+//!
+//! # Determinism boundary
+//!
+//! Everything exported through [`MixResult`] and the stats registry is
+//! bit-identical to serial **except** the `par.*` wait counters
+//! (`par.epoch_waits`, `par.backpressure_waits`), which measure real
+//! scheduling behavior and legitimately vary run to run. The self-profiler
+//! only ever times commit-side phases in this engine; producer-side work
+//! is deliberately unprofiled (a wall-clock scope on another thread would
+//! be attributed to nothing meaningful).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::calendar::EventCalendar;
+use crate::system::{
+    export_shared_stats, CoreResult, MixResult, ObservedRun, RunConfig, SchemeInstance, SchemeKind,
+};
+use ivl_cache::randomized::RandomizedCache;
+use ivl_cache::set_assoc::SetAssocCache;
+use ivl_cache::CacheModel;
+use ivl_dram::DramModel;
+use ivl_secure_mem::subsystem::IvStats;
+use ivl_sim_core::config::SystemConfig;
+use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::obs::{CacheKind, EventKind, Obs, ObsConfig, Phase, StatsRegistry};
+use ivl_sim_core::stats::HitMiss;
+use ivl_sim_core::Cycle;
+use ivl_testkit::spsc::{Consumer, Spsc};
+use ivl_workloads::mixes::Mix;
+use ivl_workloads::trace::{MemEvent, TraceGenerator};
+
+/// Ring depth per generator: how far a producer may run ahead of the
+/// commit thread. Power of two; deep enough to ride out commit-side
+/// bursts (a secure-memory miss costs hundreds of modeled cycles of
+/// commit work per event), shallow enough to keep the dead-ahead
+/// generator state cache-warm.
+const RING_DEPTH: usize = 256;
+
+/// Pre-simulated private-L2 outcome stamped onto an access event by the
+/// producer that owns the cache (single-core processes only).
+#[derive(Debug, Clone, Copy)]
+struct L2Stamp {
+    hit: bool,
+    /// Whether the fill evicted any victim (clean or dirty) — drives the
+    /// trace event's `evicted` field.
+    evicted_any: bool,
+    /// Dirty victim key needing an LLC write-back, if any.
+    evict_dirty_key: Option<u64>,
+    /// Cumulative (hits, misses) tally of the private L2 *after* this
+    /// access — the commit thread re-exports these at the measurement
+    /// flip and at end of run, exactly where the serial engine reads
+    /// `l2.tally()`.
+    hits: u64,
+    misses: u64,
+}
+
+/// One pre-computed front-end event.
+struct FrontEv {
+    ev: MemEvent,
+    /// `gen.warmed_up()` immediately after producing this event; the
+    /// commit thread's warm-flip check reads the latest consumed stamp,
+    /// reproducing the serial per-iteration `warmed_up()` poll.
+    warmed: bool,
+    /// Present on `Access` events of single-core processes.
+    l2: Option<L2Stamp>,
+}
+
+/// Producer-side state for one process front-end.
+struct Front {
+    gen_index: usize,
+    gen: TraceGenerator,
+    /// The process's private L2, owned ahead of commit (single-core
+    /// processes only).
+    l2: Option<SetAssocCache>,
+    tx: ivl_testkit::spsc::Producer<FrontEv>,
+}
+
+/// Generates the next event of a front, running the producer-owned L2
+/// forward when this front carries one.
+fn next_front_event(front: &mut Front) -> FrontEv {
+    let ev = front.gen.next_event();
+    let warmed = front.gen.warmed_up();
+    let l2 = match (&mut front.l2, &ev) {
+        (
+            Some(l2),
+            MemEvent::Access {
+                block, is_write, ..
+            },
+        ) => {
+            let out = l2.access(block.index(), *is_write);
+            let t = l2.tally();
+            Some(L2Stamp {
+                hit: out.hit,
+                evicted_any: out.evicted.is_some(),
+                evict_dirty_key: out.evicted.filter(|e| e.dirty).map(|e| e.key),
+                hits: t.hits,
+                misses: t.misses,
+            })
+        }
+        (Some(l2), MemEvent::Dealloc { page }) => {
+            // TLB-shootdown flush of the producer-owned L2, mirroring the
+            // serial engine (the L1 is dead state — nothing reads it — so
+            // no engine simulates one).
+            for b in page.blocks() {
+                l2.invalidate(b.index());
+            }
+            None
+        }
+        _ => None,
+    };
+    FrontEv { ev, warmed, l2 }
+}
+
+/// One worker thread's loop: round-robin its owned fronts, producing one
+/// event per front per pass. A full ring never blocks the worker — the
+/// undeliverable event parks in a per-front `pending` slot and the worker
+/// moves on, so one slow consumer cannot stall another front's stream.
+fn producer_loop(mut fronts: Vec<Front>, stops: &[AtomicBool], backpressure: &AtomicU64) {
+    let mut pending: Vec<Option<FrontEv>> = fronts.iter().map(|_| None).collect();
+    loop {
+        let mut progressed = false;
+        let mut all_stopped = true;
+        for (fi, front) in fronts.iter_mut().enumerate() {
+            if stops[front.gen_index].load(Ordering::Acquire) {
+                continue;
+            }
+            all_stopped = false;
+            if let Some(ev) = pending[fi].take() {
+                match front.tx.try_push(ev) {
+                    Ok(()) => progressed = true,
+                    Err(back) => {
+                        pending[fi] = Some(back);
+                        continue;
+                    }
+                }
+            }
+            let ev = next_front_event(front);
+            match front.tx.try_push(ev) {
+                Ok(()) => progressed = true,
+                Err(back) => pending[fi] = Some(back),
+            }
+        }
+        if all_stopped {
+            break;
+        }
+        if !progressed {
+            // Every live ring is full: the commit thread is the
+            // bottleneck. Count it and get out of its way.
+            backpressure.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Blocking ring pop on the commit side. Empty polls are counted as
+/// `epoch_waits` — the commit thread stalling on its front-end.
+fn pop_ring(rx: &mut Consumer<FrontEv>, waits: &mut u64) -> FrontEv {
+    let mut spins = 0u32;
+    loop {
+        if let Some(ev) = rx.try_pop() {
+            return ev;
+        }
+        *waits += 1;
+        spins += 1;
+        if spins.is_multiple_of(64) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Per-shard event calendars merged at the pop: the commit thread's
+/// deterministic commit point. Each core holds at most one entry, keyed
+/// `(ready cycle, global core index)`; ties are globally unique, so the
+/// minimum over shard heads reproduces the single-calendar pop order
+/// bit-for-bit regardless of how cores are sharded.
+struct ShardedCalendar {
+    shards: Vec<EventCalendar<usize>>,
+}
+
+impl ShardedCalendar {
+    fn new(n: usize) -> Self {
+        ShardedCalendar {
+            shards: (0..n).map(|_| EventCalendar::new()).collect(),
+        }
+    }
+
+    fn schedule(&mut self, shard: usize, at: Cycle, tie: u64, core: usize) {
+        self.shards[shard].schedule(at, tie, core);
+    }
+
+    fn pop(&mut self) -> Option<usize> {
+        let mut best: Option<(Cycle, u64, usize)> = None;
+        for (si, shard) in self.shards.iter().enumerate() {
+            if let Some((at, tie)) = shard.peek_key() {
+                if best.is_none_or(|(ba, bt, _)| (at, tie) < (ba, bt)) {
+                    best = Some((at, tie, si));
+                }
+            }
+        }
+        let (_, _, si) = best?;
+        self.shards[si].pop().map(|(_, core)| core)
+    }
+}
+
+/// Commit-side core state. Identical to the serial engine's core except
+/// that single-core processes carry no commit-side L2 (`l2: None`): their
+/// cache ran ahead on the producer, and `l2_stamp` holds the cumulative
+/// tally of the last consumed access for the registry exports.
+struct ParCore {
+    gen: usize,
+    domain: DomainId,
+    /// Commit-owned private L2 — only for cores of multi-core processes,
+    /// whose cache contents depend on commit-order event interleaving.
+    l2: Option<SetAssocCache>,
+    now: Cycle,
+    instrs: u64,
+    accesses: u64,
+    measure_start: Cycle,
+    measure_instrs_start: u64,
+    benchmark: &'static str,
+    base_ipc: f64,
+    mlp: f64,
+    inv_ipc: f64,
+    /// `(hits, misses)` of the producer-owned L2 as of the last consumed
+    /// access event (single-core processes only).
+    l2_stamp: (u64, u64),
+}
+
+/// [`crate::system`]'s `export_run_stats`, with the per-core L2 tallies
+/// read from wherever this engine keeps them: the commit-owned cache, or
+/// the last consumed producer stamp.
+fn export_par_run_stats(
+    scheme: &SchemeInstance,
+    dram: &DramModel,
+    llc: &RandomizedCache,
+    cores: &[ParCore],
+    reg: &mut StatsRegistry,
+) {
+    export_shared_stats(scheme, dram, llc, reg);
+    for (i, c) in cores.iter().enumerate() {
+        let (hits, misses) = match &c.l2 {
+            Some(l2) => {
+                let t = l2.tally();
+                (t.hits, t.misses)
+            }
+            None => c.l2_stamp,
+        };
+        reg.set_ratio(&format!("core{i}.l2"), HitMiss::from_parts(hits, misses));
+    }
+}
+
+/// Runs one mix under one scheme on the parallel engine. Figure-facing
+/// output is bit-identical to [`crate::system::run_mix`] at any
+/// `workers ≥ 1`.
+pub fn run_mix_par(
+    mix: &Mix,
+    scheme_kind: SchemeKind,
+    run: &RunConfig,
+    workers: usize,
+) -> MixResult {
+    let cfg = SystemConfig::default();
+    run_mix_observed_par(mix, scheme_kind, run, &cfg, &ObsConfig::off(), workers).result
+}
+
+/// [`run_mix_par`] with an explicit system configuration and
+/// observability config; the parallel counterpart of
+/// [`crate::system::run_mix_observed`].
+pub fn run_mix_observed_par(
+    mix: &Mix,
+    scheme_kind: SchemeKind,
+    run: &RunConfig,
+    cfg: &SystemConfig,
+    obs_cfg: &ObsConfig,
+    workers: usize,
+) -> ObservedRun {
+    let obs = Obs::from_config(obs_cfg);
+    let trace_on = obs.tracer.enabled();
+    let prof_on = obs.profiler.is_enabled();
+    let mut scheme = scheme_kind.build(cfg);
+    scheme.as_subsystem().attach_obs(&obs);
+    let mut dram = DramModel::new(&cfg.dram);
+    dram.set_obs(obs.clone());
+    let mut llc = RandomizedCache::with_geometry(
+        cfg.llc.cache.capacity_bytes,
+        cfg.llc.cache.ways,
+        cfg.llc.cache.line_bytes,
+        run.seed ^ 0x11C,
+    );
+
+    // Process layout identical to the serial engine: four processes in
+    // disjoint quarters, threads of a process sharing one generator.
+    let threads = mix.class.threads_per_process();
+    let exclusive = threads == 1;
+    let total_pages = cfg.total_pages();
+    let proc_range = total_pages / 4;
+    let mut gens: Vec<TraceGenerator> = Vec::new();
+    let mut cores: Vec<ParCore> = Vec::new();
+    for (pi, profile) in mix.profiles().into_iter().enumerate() {
+        let domain = DomainId::new_unchecked(pi as u16 + 1);
+        let base = pi as u64 * proc_range;
+        gens.push(TraceGenerator::with_footprint(
+            profile,
+            domain,
+            base,
+            run.seed.wrapping_mul(31).wrapping_add(pi as u64),
+            profile.footprint_pages(),
+            proc_range.next_power_of_two() / 2,
+        ));
+        for _ti in 0..threads {
+            cores.push(ParCore {
+                gen: pi,
+                domain,
+                l2: (!exclusive).then(|| {
+                    SetAssocCache::with_geometry(
+                        cfg.core.l2.capacity_bytes,
+                        cfg.core.l2.ways,
+                        cfg.core.l2.line_bytes,
+                    )
+                }),
+                now: 0,
+                instrs: 0,
+                accesses: 0,
+                measure_start: 0,
+                measure_instrs_start: 0,
+                benchmark: profile.name,
+                base_ipc: profile.base_ipc,
+                mlp: profile.mlp,
+                inv_ipc: 1.0 / profile.base_ipc,
+                l2_stamp: (0, 0),
+            });
+        }
+    }
+
+    let gen_count = gens.len();
+    let worker_count = workers.max(1).min(gen_count);
+    // Warm-flip state seeded from the fresh generators, then kept current
+    // from consumed event stamps — the serial engine's per-iteration
+    // `warmed_up()` poll, one consumed event late never (state only
+    // changes when an event is drawn).
+    let mut last_warm: Vec<bool> = gens.iter().map(TraceGenerator::warmed_up).collect();
+    // Shard assignment: generator `g` (and every core of its process)
+    // lives on worker/shard `g % worker_count`.
+    let shard_of_gen: Vec<usize> = (0..gen_count).map(|g| g % worker_count).collect();
+
+    // Build the front-ends and hand each worker its share.
+    let mut consumers: Vec<Option<Consumer<FrontEv>>> = Vec::with_capacity(gen_count);
+    let mut worker_fronts: Vec<Vec<Front>> = (0..worker_count).map(|_| Vec::new()).collect();
+    for (gi, gen) in gens.into_iter().enumerate() {
+        let (tx, rx) = Spsc::with_capacity(RING_DEPTH).split();
+        consumers.push(Some(rx));
+        worker_fronts[shard_of_gen[gi]].push(Front {
+            gen_index: gi,
+            gen,
+            l2: exclusive.then(|| {
+                SetAssocCache::with_geometry(
+                    cfg.core.l2.capacity_bytes,
+                    cfg.core.l2.ways,
+                    cfg.core.l2.line_bytes,
+                )
+            }),
+            tx,
+        });
+    }
+    let mut consumers: Vec<Consumer<FrontEv>> = consumers
+        .into_iter()
+        .map(|c| c.expect("one ring per generator"))
+        .collect();
+
+    let stops: Vec<AtomicBool> = (0..gen_count).map(|_| AtomicBool::new(false)).collect();
+    let backpressure = AtomicU64::new(0);
+    // Cores of a process still short of their access budget; when a
+    // generator's count hits zero its producer front is stopped.
+    let mut live_cores_of_gen: Vec<u32> = vec![0; gen_count];
+    for c in &cores {
+        live_cores_of_gen[c.gen] += 1;
+    }
+
+    let warmup_total = run.warmup_accesses;
+    let measure_total = warmup_total + run.measure_accesses;
+    let mut measuring = false;
+    let mut llc_miss_reads = 0u64;
+    let mut read_latency_sum = 0u64;
+    let mut core_accesses = 0u64;
+    let mut epoch_stats = IvStats::default();
+    let mut epoch_reg = StatsRegistry::new();
+    let mut epoch_waits = 0u64;
+    let mut llc_writebacks: Vec<u64> = Vec::new();
+    let debug_warm = std::env::var("IVL_DEBUG_WARM").is_ok();
+
+    let mut calendar = ShardedCalendar::new(worker_count);
+    for (i, c) in cores.iter().enumerate() {
+        if c.accesses < measure_total {
+            calendar.schedule(shard_of_gen[c.gen], c.now, i as u64, i);
+        }
+    }
+
+    std::thread::scope(|s| {
+        let stops_ref = &stops;
+        let backpressure_ref = &backpressure;
+        for fronts in worker_fronts {
+            s.spawn(move || producer_loop(fronts, stops_ref, backpressure_ref));
+        }
+
+        // ── The commit loop: the serial algorithm, fed from rings. ──
+        while let Some(idx) = calendar.pop() {
+            if debug_warm && !measuring {
+                let states: Vec<String> = cores
+                    .iter()
+                    .map(|c| format!("{}:{}", c.benchmark, c.accesses))
+                    .collect();
+                if cores[0].accesses.is_multiple_of(100_000) && cores[0].accesses > 0 {
+                    eprintln!("warm? {}", states.join(" "));
+                }
+            }
+            if !measuring
+                && cores.iter().all(|c| c.accesses >= warmup_total)
+                && last_warm.iter().all(|&w| w)
+            {
+                measuring = true;
+                epoch_stats = *scheme.stats();
+                export_par_run_stats(&scheme, &dram, &llc, &cores, &mut epoch_reg);
+                if obs.tracer.enabled() {
+                    let flip = cores.iter().map(|c| c.now).min().unwrap_or(0);
+                    obs.tracer.emit(
+                        flip,
+                        "run",
+                        None,
+                        None,
+                        EventKind::Epoch { label: "measure" },
+                    );
+                }
+                for c in &mut cores {
+                    c.measure_start = c.now;
+                    c.measure_instrs_start = c.instrs;
+                }
+            }
+
+            let gen_idx = cores[idx].gen;
+            let fe = pop_ring(&mut consumers[gen_idx], &mut epoch_waits);
+            last_warm[gen_idx] = fe.warmed;
+            let core = &mut cores[idx];
+            'event: {
+                match fe.ev {
+                    MemEvent::Access {
+                        block,
+                        is_write,
+                        gap_instrs,
+                    } => {
+                        core.accesses += 1;
+                        if measuring {
+                            core_accesses += 1;
+                        }
+                        core.instrs += gap_instrs;
+                        core.now += (gap_instrs as f64 * core.inv_ipc) as Cycle;
+
+                        let key = block.index();
+                        core.now += cfg.core.l2.hit_latency;
+                        let (l2_hit, l2_evicted_any, l2_wb) = match &mut core.l2 {
+                            Some(l2) => {
+                                let out = {
+                                    let _cache_timing =
+                                        prof_on.then(|| obs.profiler.scope(Phase::CoreCache));
+                                    l2.access(key, is_write)
+                                };
+                                (
+                                    out.hit,
+                                    out.evicted.is_some(),
+                                    out.evicted.filter(|e| e.dirty).map(|e| e.key),
+                                )
+                            }
+                            None => {
+                                let st =
+                                    fe.l2.expect("single-core access events carry an L2 stamp");
+                                core.l2_stamp = (st.hits, st.misses);
+                                (st.hit, st.evicted_any, st.evict_dirty_key)
+                            }
+                        };
+                        if trace_on {
+                            obs.tracer.emit(
+                                core.now,
+                                "cache",
+                                Some(core.domain),
+                                Some(idx as u8),
+                                EventKind::CacheAccess {
+                                    cache: CacheKind::L2,
+                                    hit: l2_hit,
+                                    evicted: l2_evicted_any,
+                                },
+                            );
+                        }
+                        if l2_hit {
+                            break 'event;
+                        }
+                        llc_writebacks.clear();
+                        if let Some(k) = l2_wb {
+                            llc_writebacks.push(k);
+                        }
+                        core.now += cfg.llc.cache.hit_latency - cfg.core.l2.hit_latency;
+                        let llc_out = {
+                            let _cache_timing =
+                                prof_on.then(|| obs.profiler.scope(Phase::CoreCache));
+                            llc.access(key, is_write)
+                        };
+                        let llc_hit = llc_out.hit;
+                        if trace_on {
+                            obs.tracer.emit(
+                                core.now,
+                                "cache",
+                                Some(core.domain),
+                                Some(idx as u8),
+                                EventKind::CacheAccess {
+                                    cache: CacheKind::Llc,
+                                    hit: llc_hit,
+                                    evicted: llc_out.evicted.is_some(),
+                                },
+                            );
+                        }
+                        if let Some(e) = llc_out.evicted.filter(|e| e.dirty) {
+                            let _integrity_timing =
+                                prof_on.then(|| obs.profiler.scope(Phase::Integrity));
+                            scheme.as_subsystem().data_access(
+                                core.now,
+                                &mut dram,
+                                ivl_sim_core::addr::BlockAddr::new(e.key),
+                                core.domain,
+                                true,
+                            );
+                        }
+                        for wb in llc_writebacks.drain(..) {
+                            let out = llc.access(wb, true);
+                            if let Some(e) = out.evicted.filter(|e| e.dirty) {
+                                let _integrity_timing =
+                                    prof_on.then(|| obs.profiler.scope(Phase::Integrity));
+                                scheme.as_subsystem().data_access(
+                                    core.now,
+                                    &mut dram,
+                                    ivl_sim_core::addr::BlockAddr::new(e.key),
+                                    core.domain,
+                                    true,
+                                );
+                            }
+                        }
+                        if llc_hit {
+                            break 'event;
+                        }
+                        let done = {
+                            let _integrity_timing =
+                                prof_on.then(|| obs.profiler.scope(Phase::Integrity));
+                            scheme.as_subsystem().data_access(
+                                core.now,
+                                &mut dram,
+                                block,
+                                core.domain,
+                                is_write,
+                            )
+                        };
+                        let latency = done.saturating_sub(core.now);
+                        if measuring && !is_write {
+                            llc_miss_reads += 1;
+                            read_latency_sum += latency;
+                        }
+                        let service = latency.min(400);
+                        let queueing = latency - service;
+                        core.now += queueing + (service as f64 / core.mlp) as Cycle;
+                    }
+                    MemEvent::Alloc { page } => {
+                        let done = scheme.as_subsystem().page_alloc(
+                            core.now,
+                            &mut dram,
+                            page,
+                            core.domain,
+                        );
+                        core.now = done + 200;
+                        core.instrs += 50;
+                    }
+                    MemEvent::Dealloc { page } => {
+                        for b in page.blocks() {
+                            if let Some(l2) = &mut core.l2 {
+                                l2.invalidate(b.index());
+                            }
+                            llc.invalidate(b.index());
+                        }
+                        let done = scheme.as_subsystem().page_dealloc(
+                            core.now,
+                            &mut dram,
+                            page,
+                            core.domain,
+                        );
+                        core.now = done + 100;
+                        core.instrs += 30;
+                    }
+                }
+            }
+
+            let c = &cores[idx];
+            if c.accesses < measure_total {
+                calendar.schedule(shard_of_gen[c.gen], c.now, idx as u64, idx);
+            } else {
+                // Core retired. Once a whole process is done, stop its
+                // producer front promptly so idle generators don't spin.
+                live_cores_of_gen[gen_idx] -= 1;
+                if live_cores_of_gen[gen_idx] == 0 {
+                    stops[gen_idx].store(true, Ordering::Release);
+                }
+            }
+        }
+
+        for stop in &stops {
+            stop.store(true, Ordering::Release);
+        }
+    });
+
+    // ── End-of-run accounting: identical to the serial engine. ──
+    let stats = scheme.stats().delta(&epoch_stats);
+    let (utilization, untracked) = match &scheme {
+        SchemeInstance::Iv(iv) => match iv.forest() {
+            Some(f) => (
+                Some(f.stats().mean_utilization()),
+                Some(f.stats().untracked_slots),
+            ),
+            None => (None, None),
+        },
+        _ => (None, None),
+    };
+    let (bv_leaked, bv_scanned) = match &scheme {
+        SchemeInstance::Iv(iv) => match iv.bv() {
+            Some(b) => (Some(b.leaked_slots()), Some(b.total_blocks_scanned())),
+            None => (None, None),
+        },
+        _ => (None, None),
+    };
+
+    let core_results: Vec<CoreResult> = cores
+        .iter()
+        .map(|c| CoreResult {
+            benchmark: c.benchmark,
+            instrs: c.instrs - c.measure_instrs_start,
+            cycles: c.now - c.measure_start,
+            base_ipc: c.base_ipc,
+        })
+        .collect();
+
+    let mut end_reg = StatsRegistry::new();
+    export_par_run_stats(&scheme, &dram, &llc, &cores, &mut end_reg);
+    let mut registry = end_reg.delta(&epoch_reg);
+    registry.set_counter("run.core_accesses", core_accesses);
+    registry.set_counter("run.llc_miss_reads", llc_miss_reads);
+    registry.set_counter("run.read_latency_sum", read_latency_sum);
+    // Engine-health counters: real-time scheduling observability, exported
+    // after the delta (like the profiler) and legitimately nondeterministic.
+    registry.set_counter("par.workers", worker_count as u64);
+    registry.set_counter("par.epoch_waits", epoch_waits);
+    registry.set_counter(
+        "par.backpressure_waits",
+        backpressure.load(Ordering::Relaxed),
+    );
+    obs.profiler.export(&mut registry);
+    let events = obs.tracer.sorted_records();
+
+    let result = MixResult {
+        mix: mix.name,
+        scheme: scheme_kind,
+        avg_path_length: stats.avg_path_length(),
+        failed: stats.alloc_failures > 0,
+        stats,
+        cores: core_results,
+        utilization,
+        untracked_slots: untracked,
+        bv_leaked_slots: bv_leaked,
+        bv_blocks_scanned: bv_scanned,
+        llc_miss_reads,
+        read_latency_sum,
+        core_accesses,
+    };
+    ObservedRun {
+        result,
+        registry,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::run_mix;
+    use ivl_workloads::mixes::mix_by_name;
+
+    #[test]
+    fn exclusive_tier_matches_serial_bit_for_bit() {
+        // S mixes: one core per process → gen + L2 offload.
+        let mix = mix_by_name("S-1").unwrap();
+        let run = RunConfig::smoke_test();
+        let serial = format!("{:?}", run_mix(mix, SchemeKind::IvPro, &run));
+        for workers in [1, 2, 4] {
+            let par = format!("{:?}", run_mix_par(mix, SchemeKind::IvPro, &run, workers));
+            assert_eq!(serial, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn shared_gen_tier_matches_serial_bit_for_bit() {
+        // M mixes: two cores per process share a generator → gen-prefetch
+        // only, commit-owned L2s.
+        let mix = mix_by_name("M-1").unwrap();
+        let run = RunConfig::smoke_test();
+        let serial = format!("{:?}", run_mix(mix, SchemeKind::Baseline, &run));
+        let par = format!("{:?}", run_mix_par(mix, SchemeKind::Baseline, &run, 3));
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn par_engine_exports_wait_counters() {
+        let mix = mix_by_name("S-2").unwrap();
+        let run = RunConfig::smoke_test();
+        let cfg = SystemConfig::default();
+        let observed =
+            run_mix_observed_par(mix, SchemeKind::Insecure, &run, &cfg, &ObsConfig::off(), 2);
+        assert_eq!(observed.registry.counter("par.workers"), Some(2));
+        assert!(observed.registry.counter("par.epoch_waits").is_some());
+        assert!(observed
+            .registry
+            .counter("par.backpressure_waits")
+            .is_some());
+    }
+}

@@ -198,6 +198,56 @@ pub enum SchedulerKind {
     LinearScan,
 }
 
+/// Which stepping engine executes a run.
+///
+/// Both engines produce bit-identical figure data (pinned by the
+/// determinism suite); the parallel engine additionally exports `par.*`
+/// scheduling counters that legitimately vary run to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The single-threaded oracle engine.
+    #[default]
+    Serial,
+    /// The decoupled front-end parallel engine ([`crate::par`]).
+    Par {
+        /// Front-end worker threads (clamped to the process count).
+        workers: usize,
+    },
+}
+
+impl EngineKind {
+    /// Engine selection from the environment: `IVL_PAR_SYSTEM=1` (or
+    /// `true`) turns the parallel engine on; `IVL_PAR_WORKERS` (falling
+    /// back to `IVL_WORKERS`, then the machine's parallelism) sizes its
+    /// front-end worker pool.
+    pub fn from_env() -> Self {
+        let on = std::env::var("IVL_PAR_SYSTEM")
+            .map(|v| {
+                let v = v.trim();
+                v == "1" || v.eq_ignore_ascii_case("true")
+            })
+            .unwrap_or(false);
+        if on {
+            EngineKind::Par {
+                workers: par_workers_from_env(),
+            }
+        } else {
+            EngineKind::Serial
+        }
+    }
+}
+
+/// Worker-count resolution for the parallel engine: `IVL_PAR_WORKERS`
+/// when set, else the testkit default (`IVL_WORKERS`, else one per
+/// available core).
+pub fn par_workers_from_env() -> usize {
+    std::env::var("IVL_PAR_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(ivl_testkit::par::available_workers)
+}
+
 /// Run lengths and seed of one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
@@ -373,10 +423,17 @@ pub fn run_mix_with_config(
     cfg: &SystemConfig,
 ) -> MixResult {
     let obs_cfg = ObsConfig::from_env();
+    let engine = EngineKind::from_env();
+    let run_engine = |oc: &ObsConfig| match engine {
+        EngineKind::Serial => run_mix_observed(mix, scheme_kind, run, cfg, oc),
+        EngineKind::Par { workers } => {
+            crate::par::run_mix_observed_par(mix, scheme_kind, run, cfg, oc, workers)
+        }
+    };
     if !obs_cfg.any_enabled() {
-        return run_mix_observed(mix, scheme_kind, run, cfg, &ObsConfig::off()).result;
+        return run_engine(&ObsConfig::off()).result;
     }
-    let observed = run_mix_observed(mix, scheme_kind, run, cfg, &obs_cfg);
+    let observed = run_engine(&obs_cfg);
     let tag = format!("{}.{}", path_tag(mix.name), path_tag(scheme_kind.label()));
     if let Some(p) = &obs_cfg.trace_path {
         let path = decorate_path(p, &tag);
@@ -393,12 +450,14 @@ pub fn run_mix_with_config(
     observed.result
 }
 
-/// Exports everything every model knows into one registry snapshot.
-fn export_run_stats(
+/// Exports the scheme/DRAM/LLC statistics shared by both stepping
+/// engines; each engine adds its own per-core L2 tallies on top (the
+/// parallel engine reads them from producer stamps for single-core
+/// processes).
+pub(crate) fn export_shared_stats(
     scheme: &SchemeInstance,
     dram: &DramModel,
     llc: &RandomizedCache,
-    cores: &[Core],
     reg: &mut StatsRegistry,
 ) {
     scheme.as_subsystem_ref().export_stats("scheme", reg);
@@ -407,6 +466,17 @@ fn export_run_stats(
     reg.set_ratio("llc.data", HitMiss::from_parts(lt.hits, lt.misses));
     reg.set_counter("llc.evictions", lt.evictions);
     reg.set_counter("llc.dirty_evictions", lt.dirty_evictions);
+}
+
+/// Exports everything every model knows into one registry snapshot.
+fn export_run_stats(
+    scheme: &SchemeInstance,
+    dram: &DramModel,
+    llc: &RandomizedCache,
+    cores: &[Core],
+    reg: &mut StatsRegistry,
+) {
+    export_shared_stats(scheme, dram, llc, reg);
     for (i, c) in cores.iter().enumerate() {
         let t = c.l2.tally();
         reg.set_ratio(

@@ -1,0 +1,278 @@
+//! Bounded single-producer/single-consumer ring (Lamport queue).
+//!
+//! The parallel system engine streams pre-computed front-end events from
+//! producer threads to the deterministic commit thread. Each (generator →
+//! commit) edge has exactly one producer and one consumer, so the classic
+//! Lamport ring suffices: a power-of-two slot array plus two monotonically
+//! increasing positions, each written by exactly one side and read by the
+//! other with acquire/release ordering. No CAS, no locks, no allocation
+//! after construction.
+//!
+//! [`Spsc::split`] hands out a [`Producer`] and a [`Consumer`]; each handle
+//! is `Send` but deliberately neither `Clone` nor `Sync`, so the
+//! single-producer/single-consumer contract is enforced by ownership
+//! rather than by convention. Both sides cache the opposing position
+//! locally and only re-read the shared atomic when the cached value says
+//! the ring looks full/empty — the common case costs one uncontended
+//! atomic store.
+//!
+//! ```
+//! let (mut tx, mut rx) = ivl_testkit::spsc::Spsc::with_capacity(4).split();
+//! assert!(tx.try_push(1u32).is_ok());
+//! assert!(tx.try_push(2u32).is_ok());
+//! assert_eq!(rx.try_pop(), Some(1));
+//! assert_eq!(rx.try_pop(), Some(2));
+//! assert_eq!(rx.try_pop(), None);
+//! ```
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Cache-line padding so the producer and consumer positions never share a
+/// line (false sharing would serialize the two sides).
+#[repr(align(64))]
+struct Pad<T>(T);
+
+struct Inner<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read; written only by the consumer.
+    head: Pad<AtomicUsize>,
+    /// Next slot the producer will write; written only by the producer.
+    tail: Pad<AtomicUsize>,
+}
+
+// SAFETY: the ring is shared between exactly one producer and one consumer
+// thread; slot ownership is handed over through the release/acquire pair on
+// `tail` (producer → consumer) and `head` (consumer → producer).
+unsafe impl<T: Send> Sync for Inner<T> {}
+unsafe impl<T: Send> Send for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Both handles are gone: drop whatever is still in flight.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        for pos in head..tail {
+            let slot = self.slots[pos & self.mask].get();
+            // SAFETY: positions in [head, tail) hold initialized values.
+            unsafe { (*slot).assume_init_drop() };
+        }
+    }
+}
+
+/// A bounded SPSC ring; split it to use it.
+pub struct Spsc<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Spsc<T> {
+    /// Creates a ring holding at least `capacity` items (rounded up to a
+    /// power of two, minimum 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "SPSC ring needs room for at least one item");
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Spsc {
+            inner: Arc::new(Inner {
+                slots,
+                mask: cap - 1,
+                head: Pad(AtomicUsize::new(0)),
+                tail: Pad(AtomicUsize::new(0)),
+            }),
+        }
+    }
+
+    /// Splits the ring into its two endpoint handles.
+    pub fn split(self) -> (Producer<T>, Consumer<T>) {
+        let p = Producer {
+            inner: Arc::clone(&self.inner),
+            head_cache: 0,
+        };
+        let c = Consumer {
+            inner: self.inner,
+            tail_cache: 0,
+        };
+        (p, c)
+    }
+}
+
+/// The write end; owned by exactly one thread.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Last observed consumer position (refreshed only when full-looking).
+    head_cache: usize,
+}
+
+impl<T> Producer<T> {
+    /// Pushes `value`, or returns it when the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` if no slot is free.
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let tail = self.inner.tail.0.load(Ordering::Relaxed);
+        let cap = self.inner.mask + 1;
+        if tail.wrapping_sub(self.head_cache) >= cap {
+            self.head_cache = self.inner.head.0.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.head_cache) >= cap {
+                return Err(value);
+            }
+        }
+        let slot = self.inner.slots[tail & self.inner.mask].get();
+        // SAFETY: the slot is past the consumer's head, so it is empty and
+        // only this producer touches it until the tail store publishes it.
+        unsafe { (*slot).write(value) };
+        self.inner
+            .tail
+            .0
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently in the ring (as observed by this side).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.0.load(Ordering::Relaxed);
+        let head = self.inner.head.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring looks empty from this side.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+}
+
+/// The read end; owned by exactly one thread.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Last observed producer position (refreshed only when empty-looking).
+    tail_cache: usize,
+}
+
+impl<T> Consumer<T> {
+    /// Pops the oldest item, or `None` when the ring is empty.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let head = self.inner.head.0.load(Ordering::Relaxed);
+        if head == self.tail_cache {
+            self.tail_cache = self.inner.tail.0.load(Ordering::Acquire);
+            if head == self.tail_cache {
+                return None;
+            }
+        }
+        let slot = self.inner.slots[head & self.inner.mask].get();
+        // SAFETY: head < tail, so the slot holds an initialized value the
+        // producer published with its release store on `tail`.
+        let value = unsafe { (*slot).assume_init_read() };
+        self.inner
+            .head
+            .0
+            .store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Items currently in the ring (as observed by this side).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.0.load(Ordering::Acquire);
+        let head = self.inner.head.0.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring looks empty from this side.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let (mut tx, mut rx) = Spsc::with_capacity(4).split();
+        for i in 0..4 {
+            assert!(tx.try_push(i).is_ok());
+        }
+        assert_eq!(tx.try_push(99), Err(99), "ring is full at capacity");
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = Spsc::with_capacity(2).split();
+        for i in 0..1000u64 {
+            assert!(tx.try_push(i).is_ok());
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = Spsc::with_capacity(64).split();
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.try_push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        while count < N {
+            if let Some(v) = rx.try_pop() {
+                sum = sum.wrapping_add(v);
+                count += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn dropping_ring_drops_in_flight_items() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, mut rx) = Spsc::with_capacity(8).split();
+        for _ in 0..5 {
+            assert!(tx.try_push(Tracked).is_ok());
+        }
+        drop(rx.try_pop()); // one consumed and dropped
+        drop(tx);
+        drop(rx); // four in flight, dropped with the ring
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+}

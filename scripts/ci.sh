@@ -19,18 +19,25 @@
 #   5. leak corpus replay   - every profile: `leakfuzz replay` re-runs the
 #                             checked-in counterexample corpus; the Baseline
 #                             must keep flagging and every protected scheme
-#                             must stay clean (drift detector both ways)
-#   6. bench smoke + gate   - one quick ivl-bench micro run, diffed against
-#                             BENCH_pr6.json by bench_compare; fails on a
+#                             must stay clean (drift detector both ways).
+#                             A second pass replays under IVL_PAR_SYSTEM=1,
+#                             adding the serial-vs-ParSystem drift gate
+#   6. par bit-identity     - release only: the ParSystem determinism test
+#                             (serial == parallel figure data over the full
+#                             mix x scheme matrix) at IVL_WORKERS 1, 2, 4, 8
+#   7. bench smoke + gate   - one quick ivl-bench micro run, diffed against
+#                             BENCH_pr8.json by bench_compare; fails on a
 #                             median regression beyond the threshold
 #                             (IVL_BENCH_GATE_THRESHOLD, default 1.5 = 2.5x)
-#   7. observability smoke  - obs_run writes + self-validates a trace
+#   8. observability smoke  - obs_run writes + self-validates a trace
 #                             (JSONL) and stats registry (JSON) for a quick
-#                             mix and a short attack
-#   8. figures wall-clock   - all_figures --quick (release only) must finish
+#                             mix and a short attack, once per engine
+#                             (serial, then IVL_PAR_SYSTEM=1)
+#   9. figures wall-clock   - all_figures --quick (release only) must finish
 #                             within IVL_FIGURES_BUDGET_SECS (default 300);
 #                             catches campaign-layer slowdowns the per-bench
-#                             medians cannot see
+#                             medians cannot see. A second, ParSystem-engine
+#                             run shares the same budget
 #
 # The fuzz profile replaces steps 2-4 and 6-8 with a budgeted leak-search
 # run (IVL_FUZZ_BUDGET_SECS, default 60): `leakfuzz fuzz` exits 2 — failing
@@ -118,6 +125,13 @@ step "leak corpus replay"
 cargo run -q "${LEAKFUZZ_PROFILE_ARGS[@]}" -p ivl-leakfuzz --bin leakfuzz \
     --locked --offline -- replay
 
+step "leak corpus replay (ParSystem engine)"
+# Same corpus, plus the serial-vs-ParSystem drift gate inside `replay`:
+# a threading bug must not be able to reclassify a leak.
+IVL_PAR_SYSTEM=1 IVL_PAR_WORKERS=2 \
+    cargo run -q "${LEAKFUZZ_PROFILE_ARGS[@]}" -p ivl-leakfuzz --bin leakfuzz \
+    --locked --offline -- replay
+
 if [ "$PROFILE_FILTER" = "fuzz" ]; then
     FUZZ_BUDGET="${IVL_FUZZ_BUDGET_SECS:-60}"
     step "leak-search fuzz (budget ${FUZZ_BUDGET}s)"
@@ -128,6 +142,19 @@ fi
 
 if [ "$PROFILE_FILTER" != "fuzz" ]; then
 
+if [ "$PROFILE_FILTER" != "debug" ]; then
+    step "par bit-identity matrix (IVL_WORKERS 1 2 4 8)"
+    # The determinism test sweeps 1/2/4 on its own; the explicit matrix
+    # re-pins each worker count separately (including 8, above the core
+    # count of most runners) so a scheduling-dependent divergence cannot
+    # hide behind a lucky in-process sweep.
+    for IVL_PAR_MATRIX_W in 1 2 4 8; do
+        IVL_WORKERS="$IVL_PAR_MATRIX_W" cargo test -q --release -p ivl-bench \
+            --test determinism --locked --offline \
+            par_system_is_bit_identical_to_serial
+    done
+fi
+
 step "bench smoke (IVL_BENCH_QUICK=1)"
 # Absolute path: the bench binary's working directory is the bench package,
 # not the workspace root, so a relative IVL_BENCH_JSON would land elsewhere.
@@ -135,7 +162,7 @@ BENCH_JSON="$(pwd)/target/bench_quick.json"
 IVL_BENCH_QUICK=1 IVL_BENCH_JSON="$BENCH_JSON" \
     cargo bench -p ivl-bench --locked --offline
 
-step "bench regression gate (vs BENCH_pr6.json)"
+step "bench regression gate (vs BENCH_pr8.json)"
 # The snapshot holds full-mode medians while this leg runs quick mode, and
 # quick-mode medians on a shared runner straight after a long build are
 # systematically slower (short warm-up, hot machine) on top of being noisy
@@ -143,7 +170,7 @@ step "bench regression gate (vs BENCH_pr6.json)"
 # threshold absorbs that; the gate catches order-of-magnitude mistakes,
 # not percent-level drift.
 cargo run -q -p ivl-bench --bin bench_compare --locked --offline -- \
-    BENCH_pr6.json "$BENCH_JSON" \
+    BENCH_pr8.json "$BENCH_JSON" \
     --threshold "${IVL_BENCH_GATE_THRESHOLD:-1.5}"
 
 step "observability smoke (obs_run --quick)"
@@ -153,6 +180,15 @@ step "observability smoke (obs_run --quick)"
 # most recent window, which is what a forensics reader wants anyway).
 IVL_TRACE="$(pwd)/target/obs_trace.jsonl" \
     IVL_STATS_JSON="$(pwd)/target/obs_stats.json" \
+    IVL_TRACE_CAP=50000 \
+    cargo run -q -p ivl-bench --bin obs_run --locked --offline -- S-1 IvPro --quick
+
+step "observability smoke (obs_run --quick, ParSystem engine)"
+# Distinct sink paths: both artifact pairs survive for upload, and the
+# par-mode run additionally validates the par.* counters it exports.
+IVL_PAR_SYSTEM=1 IVL_PAR_WORKERS=2 \
+    IVL_TRACE="$(pwd)/target/obs_trace_par.jsonl" \
+    IVL_STATS_JSON="$(pwd)/target/obs_stats_par.json" \
     IVL_TRACE_CAP=50000 \
     cargo run -q -p ivl-bench --bin obs_run --locked --offline -- S-1 IvPro --quick
 
@@ -173,6 +209,21 @@ if [ "$PROFILE_FILTER" != "debug" ]; then
     echo "all_figures --quick took ${FIGURES_ELAPSED}s (budget ${FIGURES_BUDGET}s)"
     if [ "$FIGURES_ELAPSED" -gt "$FIGURES_BUDGET" ]; then
         echo "FAIL: figure campaign exceeded its wall-clock budget" >&2
+        exit 1
+    fi
+
+    step "figures wall-clock smoke (ParSystem engine)"
+    # The whole campaign again with every mix stepped by the ParSystem
+    # engine — bit-identity says the *figures* cannot change, so this leg
+    # only guards wall-clock (a deadlock or livelock in the ring protocol
+    # would blow the budget, not the diff).
+    FIGURES_START=$(date +%s)
+    IVL_PAR_SYSTEM=1 IVL_PAR_WORKERS=2 \
+        cargo run -q --release -p ivl-bench --bin all_figures --locked --offline -- --quick
+    FIGURES_ELAPSED=$(($(date +%s) - FIGURES_START))
+    echo "all_figures --quick (par) took ${FIGURES_ELAPSED}s (budget ${FIGURES_BUDGET}s)"
+    if [ "$FIGURES_ELAPSED" -gt "$FIGURES_BUDGET" ]; then
+        echo "FAIL: ParSystem figure campaign exceeded its wall-clock budget" >&2
         exit 1
     fi
 fi
