@@ -284,6 +284,7 @@ mod tests {
         let obs = Obs {
             tracer: Tracer::bounded(1 << 20, TraceFilter::default()),
             profiler: Profiler::disabled(),
+            timeline: ivl_sim_core::obs::Timeline::disabled(),
         };
         let r = run_attack_with_obs(TargetScheme::GlobalTree, &cfg(64, 0.0), &obs);
         let records = obs.tracer.sorted_records();

@@ -17,8 +17,8 @@ use ivl_attack::{run_attack_with_obs, AttackConfig, TargetScheme};
 use ivl_sim_core::config::SystemConfig;
 use ivl_sim_core::obs::trace::{parse_jsonl, probe_observations};
 use ivl_sim_core::obs::{
-    write_stats_json, write_trace_jsonl, Obs, ObsConfig, StatsRegistry, TraceFilter, Tracer,
-    DEFAULT_TRACE_CAP,
+    write_stats_json, write_trace_jsonl, Obs, ObsConfig, StatsRegistry, TimelineData, TraceFilter,
+    Tracer, DEFAULT_TRACE_CAP,
 };
 use ivl_simulator::{run_mix_observed, run_mix_observed_par, EngineKind, RunConfig, SchemeKind};
 use ivl_workloads::mixes::mix_by_name;
@@ -97,6 +97,7 @@ fn main() -> ExitCode {
     let attack_obs = Obs {
         tracer: Tracer::bounded(obs_cfg.trace_cap, obs_cfg.trace_filter.clone()),
         profiler: ivl_sim_core::obs::Profiler::disabled(),
+        timeline: ivl_sim_core::obs::Timeline::disabled(),
     };
     let attack = run_attack_with_obs(
         TargetScheme::GlobalTree,
@@ -123,20 +124,35 @@ fn main() -> ExitCode {
     // Exercise the sharded forest allocator under real threads and export
     // its contention counters into the same registry (`forest.*`). The
     // op counts are fixed, so claims/releases reconcile exactly below no
-    // matter how the threads interleave.
+    // matter how the threads interleave. Each thread additionally records
+    // its own `forest.w<t>.claims` / `forest.w<t>.cas_retries` timeline
+    // series keyed on its op index (threads have no simulated clock), and
+    // the per-thread snapshots merge deterministically after the join —
+    // the same worker-series merge the ParSystem engine uses.
     eprintln!("[obs_run] running sharded-forest storm ({STORM_THREADS} threads)");
     let forest = ShardedForest::new(16, 64);
-    std::thread::scope(|s| {
+    let storm_tl = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(STORM_THREADS);
         for t in 0..STORM_THREADS {
             let forest = &forest;
-            s.spawn(move || {
+            handles.push(s.spawn(move || {
                 let mut alloc = DomainAlloc::new(
                     forest,
                     ivl_sim_core::domain::DomainId::new_unchecked(t as u16 + 1),
                 );
+                let mut tl = TimelineData::new(256, 1 << 12);
+                let claims_series = format!("forest.w{t}.claims");
+                let retries_series = format!("forest.w{t}.cas_retries");
+                let mut last_retries = 0u64;
                 let mut held = Vec::new();
                 for i in 0..STORM_PAIRS {
                     let h = alloc.alloc().expect("storm forest sized for all domains");
+                    tl.count(&claims_series, i, 1);
+                    let r = alloc.cas_retries();
+                    if r > last_retries {
+                        tl.count(&retries_series, i, r - last_retries);
+                        last_retries = r;
+                    }
                     held.push(h);
                     if held.len() == 32 || i + 1 == STORM_PAIRS {
                         for h in held.drain(..) {
@@ -144,8 +160,14 @@ fn main() -> ExitCode {
                         }
                     }
                 }
-            });
+                tl
+            }));
         }
+        let mut merged = TimelineData::new(256, 1 << 12);
+        for h in handles {
+            merged.merge(&h.join().expect("storm thread panicked"));
+        }
+        merged
     });
     let forest_balanced = forest.fully_free();
     forest.export_stats("forest", &mut registry);
@@ -254,6 +276,27 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // The merged storm timeline must reconcile with the forest totals:
+    // each thread's claims series sums to its fixed op count, and the
+    // claim-side CAS-loss series can only undercount the forest counter
+    // (which also folds in free-list CAS traffic).
+    let mut storm_retries = 0u64;
+    for t in 0..STORM_THREADS {
+        check(
+            storm_tl.counter_sum(&format!("forest.w{t}.claims")) == Some(STORM_PAIRS),
+            &format!("forest.w{t}.claims series does not sum to the storm's op count"),
+        );
+        storm_retries += storm_tl
+            .counter_sum(&format!("forest.w{t}.cas_retries"))
+            .unwrap_or(0);
+    }
+    check(
+        registry
+            .counter("forest.cas_retries")
+            .is_some_and(|total| storm_retries <= total),
+        "per-thread cas_retries series exceed the forest total",
+    );
 
     if errors.is_empty() {
         eprintln!("[obs_run] validation OK");

@@ -1,0 +1,325 @@
+//! Timeline telemetry report and self-validating smoke gate.
+//!
+//! Runs one mix under one scheme with the windowed timeline recorder live
+//! — serially, then on the ParSystem engine at 1/2/4 workers — and:
+//!
+//! * renders an ASCII sparkline table of every recorded series (with
+//!   p50/p95/p99 for histogram series),
+//! * prints the commit thread's phase attribution as folded-stack lines
+//!   (`commit;<phase> <micros>`, ready for a flamegraph renderer),
+//! * **reconciles** each window-summed series against the end-of-run
+//!   registry deltas (the timeline clears at the warmup→measurement flip,
+//!   so the sums must match exactly),
+//! * checks the serial-comparable series (`dram.*`/`llc.*`/`scheme.*`)
+//!   are bit-identical between the serial run and every worker count
+//!   (`par.*` series carry real scheduling signal and are excluded),
+//! * checks the folded stack attributes ≥ 95% of profiled commit-thread
+//!   time to named phases, and
+//! * round-trips the serial timeline through its JSONL encoding at the
+//!   `IVL_TIMELINE` path (default `ivl_timeline.jsonl`).
+//!
+//! Exits nonzero if any check fails — CI uses it as the timeline smoke
+//! test, the same self-validation pattern as `obs_run`.
+//!
+//! Usage: `timeline_report [MIX] [SCHEME] [--quick]`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ivl_sim_core::config::SystemConfig;
+use ivl_sim_core::obs::timeline::{folded_line, sparkline, write_timeline_jsonl, Cell, HistCell};
+use ivl_sim_core::obs::{ObsConfig, StatsRegistry, TimelineData};
+use ivl_simulator::{run_mix_observed, run_mix_observed_par, ObservedRun, RunConfig, SchemeKind};
+use ivl_workloads::mixes::mix_by_name;
+
+/// ParSystem worker counts the bit-identity gate sweeps.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Minimum fraction of profiled commit-thread time the folded stack must
+/// attribute to named (non-`other`) phases.
+const MIN_COVERAGE: f64 = 0.95;
+
+fn env_path(var: &str, default: &str) -> PathBuf {
+    match std::env::var(var) {
+        Ok(v) if !v.trim().is_empty() && v != "1" && !v.eq_ignore_ascii_case("true") => {
+            PathBuf::from(v.trim())
+        }
+        _ => PathBuf::from(default),
+    }
+}
+
+/// Sums every `(series, registry expectation)` pair that must reconcile:
+/// the timeline's per-window sums over the measurement window against the
+/// registry's epoch deltas. `None` expectations mean the registry skipped
+/// the counter (it stayed zero), so the series must be absent too.
+fn reconcile(
+    tag: &str,
+    tl: &TimelineData,
+    reg: &StatsRegistry,
+    check: &mut impl FnMut(bool, String),
+) {
+    let hot = match (
+        reg.counter("scheme.hot_migrations"),
+        reg.counter("scheme.hot_demotions"),
+    ) {
+        (None, None) => None,
+        (a, b) => Some(a.unwrap_or(0) + b.unwrap_or(0)),
+    };
+    let pairs: [(&str, Option<u64>); 9] = [
+        ("dram.reads", reg.counter("dram.reads")),
+        ("dram.writes", reg.counter("dram.writes")),
+        ("llc.misses", reg.ratio("llc.data").map(|hm| hm.misses())),
+        ("llc.evictions", reg.counter("llc.evictions")),
+        (
+            "scheme.walk_legs",
+            reg.counter("scheme.path_len_sum").filter(|&v| v > 0),
+        ),
+        (
+            "scheme.nflb_misses",
+            reg.ratio("scheme.nflb")
+                .map(|hm| hm.misses())
+                .filter(|&v| v > 0),
+        ),
+        ("scheme.nfl_claims", reg.counter("scheme.nfl_claims")),
+        ("scheme.nfl_recycles", reg.counter("scheme.nfl_recycles")),
+        ("scheme.hot_churn", hot),
+    ];
+    for (series, expect) in pairs {
+        let got = tl.counter_sum(series);
+        match expect {
+            // A zero registry value may mean no emissions at all, in which
+            // case the series legitimately never materialized.
+            Some(v) => check(
+                got.unwrap_or(0) == v,
+                format!("{tag}: {series} window sum {got:?} != registry {v}"),
+            ),
+            None => check(
+                got.is_none(),
+                format!("{tag}: {series} recorded {got:?} but the registry has no counterpart"),
+            ),
+        }
+    }
+    check(
+        tl.dropped() == 0,
+        format!(
+            "{tag}: timeline dropped {} window(s) — raise IVL_TIMELINE_CAP",
+            tl.dropped()
+        ),
+    );
+}
+
+/// The serial-comparable view of a timeline: everything outside the
+/// engine-health `par.*` namespace.
+fn comparable(tl: &TimelineData) -> BTreeMap<&str, &ivl_sim_core::obs::timeline::Series> {
+    tl.series
+        .iter()
+        .filter(|(name, _)| !name.starts_with("par."))
+        .map(|(name, s)| (name.as_str(), s))
+        .collect()
+}
+
+/// One sparkline row per series: per-window magnitudes scaled to the
+/// series max (counter value, gauge level, or histogram sample count).
+fn render_table(tl: &TimelineData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>10} {:>8}  profile (window = {} cycles)\n",
+        "series", "total", "windows", tl.window
+    ));
+    for (name, s) in &tl.series {
+        let values: Vec<f64> = s
+            .windows
+            .iter()
+            .map(|(_, c)| match c {
+                Cell::Counter(v) => *v as f64,
+                Cell::Gauge(g) => *g,
+                Cell::Hist(h) => h.count as f64,
+            })
+            .collect();
+        let total = match s.windows.front().map(|(_, c)| c) {
+            Some(Cell::Counter(_)) => format!("{}", s.counter_sum()),
+            Some(Cell::Hist(_)) => format!("{}", s.hist_count()),
+            _ => format!("{:.1}", values.iter().cloned().fold(0.0f64, f64::max)),
+        };
+        out.push_str(&format!(
+            "{name:<26} {total:>10} {:>8}  {}\n",
+            s.windows.len(),
+            sparkline(&values)
+        ));
+        if let Some(Cell::Hist(_)) = s.windows.front().map(|(_, c)| c) {
+            let mut merged = HistCell::empty();
+            for (_, c) in &s.windows {
+                if let Cell::Hist(h) = c {
+                    merged.merge(h);
+                }
+            }
+            out.push_str(&format!(
+                "{:<26} {:>10} {:>8}  p50={} p95={} p99={} max={}\n",
+                "",
+                "",
+                "",
+                merged.percentile(0.50),
+                merged.percentile(0.95),
+                merged.percentile(0.99),
+                merged.max
+            ));
+        }
+    }
+    out
+}
+
+/// Renders `par.commitphase.*` registry counters as folded-stack lines and
+/// returns `(folded text, named coverage fraction)`.
+fn folded_commit_stack(reg: &StatsRegistry) -> Option<(String, f64)> {
+    let total = reg.counter("par.commitphase.total.micros")?;
+    let phases = ["calendar", "generation", "l2_replay", "integrity", "other"];
+    let mut out = String::new();
+    let mut named = 0u64;
+    for phase in phases {
+        let us = reg
+            .counter(&format!("par.commitphase.{phase}.micros"))
+            .unwrap_or(0);
+        if phase != "other" {
+            named += us;
+        }
+        out.push_str(&folded_line(&["commit", phase], us));
+        out.push('\n');
+    }
+    let coverage = if total == 0 {
+        1.0
+    } else {
+        named as f64 / total as f64
+    };
+    Some((out, coverage))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--quick")
+        .collect();
+    let mix_name = args.first().map(String::as_str).unwrap_or("S-1");
+    let scheme_name = args.get(1).map(String::as_str).unwrap_or("IvPro");
+    let Some(mix) = mix_by_name(mix_name) else {
+        eprintln!("unknown mix {mix_name:?}");
+        return ExitCode::FAILURE;
+    };
+    let Some(scheme) = SchemeKind::from_label(scheme_name) else {
+        eprintln!("unknown scheme {scheme_name:?}");
+        return ExitCode::FAILURE;
+    };
+
+    let run = if ivl_bench::quick_mode() {
+        RunConfig::smoke_test()
+    } else {
+        RunConfig {
+            warmup_accesses: 2_000,
+            measure_accesses: 60_000,
+            seed: 2024,
+        }
+    };
+    let sys = SystemConfig::default();
+    let mut obs_cfg = ObsConfig::off();
+    obs_cfg.timeline = true;
+    if let Ok(w) = std::env::var("IVL_TIMELINE_WINDOW") {
+        if let Ok(w) = w.trim().parse::<u64>() {
+            obs_cfg.timeline_window = w.max(1);
+        }
+    }
+
+    let mut errors: Vec<String> = Vec::new();
+    let mut check = |ok: bool, what: String| {
+        if !ok {
+            errors.push(what);
+        }
+    };
+
+    eprintln!(
+        "[timeline_report] {mix_name}/{} serial (window = {} cycles)",
+        scheme.label(),
+        obs_cfg.timeline_window
+    );
+    let serial = run_mix_observed(mix, scheme, &run, &sys, &obs_cfg);
+    reconcile("serial", &serial.timeline, &serial.registry, &mut check);
+    check(
+        !serial.timeline.is_empty(),
+        "serial run recorded no timeline series".to_string(),
+    );
+
+    let mut par_runs: Vec<(usize, ObservedRun)> = Vec::new();
+    for workers in WORKER_COUNTS {
+        eprintln!(
+            "[timeline_report] {mix_name}/{} par workers={workers}",
+            scheme.label()
+        );
+        let par = run_mix_observed_par(mix, scheme, &run, &sys, &obs_cfg, workers);
+        reconcile(
+            &format!("par w={workers}"),
+            &par.timeline,
+            &par.registry,
+            &mut check,
+        );
+        check(
+            comparable(&par.timeline) == comparable(&serial.timeline),
+            format!("par w={workers}: serial-comparable series drifted from the serial timeline"),
+        );
+        par_runs.push((workers, par));
+    }
+
+    // JSONL round-trip of the serial timeline at the IVL_TIMELINE path.
+    let tl_path = env_path("IVL_TIMELINE", "ivl_timeline.jsonl");
+    match write_timeline_jsonl(&serial.timeline, &tl_path) {
+        Err(e) => check(false, format!("cannot write {}: {e}", tl_path.display())),
+        Ok(()) => {
+            let raw = std::fs::read_to_string(&tl_path).expect("read timeline back");
+            match TimelineData::parse_jsonl(&raw) {
+                Err(e) => check(false, format!("timeline JSONL unparseable: {e}")),
+                Ok(parsed) => check(
+                    parsed == serial.timeline,
+                    "timeline JSONL round-trip drifted".to_string(),
+                ),
+            }
+            eprintln!("[timeline_report] wrote {}", tl_path.display());
+        }
+    }
+
+    println!(
+        "# {mix_name}/{} — serial measurement window",
+        scheme.label()
+    );
+    print!("{}", render_table(&serial.timeline));
+
+    // Folded commit-thread phase stacks, one per worker count; the
+    // coverage gate runs on every ParSystem run.
+    for (workers, par) in &par_runs {
+        match folded_commit_stack(&par.registry) {
+            None => check(
+                false,
+                format!("par w={workers}: par.commitphase.* counters missing"),
+            ),
+            Some((folded, coverage)) => {
+                println!("# commit-thread folded stack (workers = {workers})");
+                print!("{folded}");
+                println!("# named-phase coverage: {:.1}%", coverage * 100.0);
+                check(
+                    coverage >= MIN_COVERAGE,
+                    format!(
+                        "par w={workers}: folded stack attributes only {:.1}% of commit time",
+                        coverage * 100.0
+                    ),
+                );
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        eprintln!("[timeline_report] validation OK");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("[timeline_report] FAIL: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -93,8 +93,10 @@ pub fn run_matrix_on_with_workers(
 }
 
 /// Generic parallel point sweep: runs `f` over `points` on the testkit's
-/// work-stealing runner, printing a `[n/total] <label> <elapsed>` progress
-/// line to stderr as each point completes. Results preserve input order.
+/// work-stealing runner, printing a `[n/total] <label> <elapsed> (eta …)`
+/// progress line to stderr as each point completes — the ETA is the mean
+/// per-point wall time extrapolated over the points still outstanding.
+/// Results preserve input order.
 ///
 /// The sweep binaries (figure matrices, sensitivity grids) funnel their
 /// per-point simulation work through here so every campaign parallelizes
@@ -112,10 +114,12 @@ where
     ivl_testkit::par::map_parallel(points, workers, |p| {
         let r = f(p);
         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed = started.elapsed().as_secs_f64();
+        let eta = elapsed / n as f64 * (total - n) as f64;
         eprintln!(
-            "[{n:>3}/{total}] {} {:>6.1}s",
+            "[{n:>3}/{total}] {} {:>6.1}s (eta {eta:>5.1}s)",
             label(p),
-            started.elapsed().as_secs_f64()
+            elapsed
         );
         r
     })

@@ -107,6 +107,27 @@ impl CacheTally {
     }
 }
 
+/// Emits one access outcome into per-window timeline series: a miss bumps
+/// the `misses` counter, an eviction the `evictions` counter, both in
+/// `cycle`'s window. Callers pass static series names (`"llc.misses"`, …)
+/// so the hot path stays allocation-free; gate on
+/// [`Timeline::enabled`](ivl_sim_core::obs::Timeline::enabled) (or a cached
+/// bool) before calling.
+pub fn timeline_outcome(
+    tl: &ivl_sim_core::obs::Timeline,
+    cycle: u64,
+    outcome: &AccessOutcome,
+    misses: &str,
+    evictions: &str,
+) {
+    if !outcome.hit {
+        tl.count(misses, cycle, 1);
+    }
+    if outcome.evicted.is_some() {
+        tl.count(evictions, cycle, 1);
+    }
+}
+
 /// Common interface of all cache organizations in this crate.
 pub trait CacheModel {
     /// Performs an access: on a hit, updates recency (and dirtiness for a
@@ -121,4 +142,33 @@ pub trait CacheModel {
 
     /// Number of currently valid lines.
     fn occupancy(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_sim_core::obs::Timeline;
+
+    #[test]
+    fn timeline_outcome_counts_misses_and_evictions() {
+        let tl = Timeline::bounded(10, 8);
+        let hit = AccessOutcome {
+            hit: true,
+            evicted: None,
+            bypassed: false,
+        };
+        let miss = AccessOutcome {
+            hit: false,
+            evicted: Some(Evicted {
+                key: 1,
+                dirty: true,
+            }),
+            bypassed: false,
+        };
+        timeline_outcome(&tl, 5, &hit, "c.misses", "c.evictions");
+        timeline_outcome(&tl, 15, &miss, "c.misses", "c.evictions");
+        let snap = tl.snapshot();
+        assert_eq!(snap.counter_sum("c.misses"), Some(1));
+        assert_eq!(snap.counter_sum("c.evictions"), Some(1));
+    }
 }

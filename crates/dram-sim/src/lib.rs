@@ -119,6 +119,8 @@ pub struct DramModel {
     /// Cached tracer gate: `access` branches on a plain bool instead of
     /// re-querying the tracer handle per request.
     trace_on: bool,
+    /// Cached timeline gate, same purpose.
+    tl_on: bool,
 }
 
 impl DramModel {
@@ -157,13 +159,17 @@ impl DramModel {
             stats: DramStats::default(),
             obs: Obs::disabled(),
             trace_on: false,
+            tl_on: false,
         }
     }
 
     /// Attaches an observability handle; the model emits a `DramAccess`
-    /// trace event per request while it is enabled.
+    /// trace event per request while the tracer is enabled, and per-window
+    /// `dram.reads`/`dram.writes`/`dram.busy_cycles` counters plus a
+    /// `dram.latency` histogram while the timeline is.
     pub fn set_obs(&mut self, obs: Obs) {
         self.trace_on = obs.tracer.enabled();
+        self.tl_on = obs.timeline.enabled();
         self.obs = obs;
     }
 
@@ -239,6 +245,21 @@ impl DramModel {
         self.busy_until[bi] = data_ready;
         self.bus_free[c.channel] = done;
 
+        if self.tl_on {
+            let tl = &self.obs.timeline;
+            tl.count(
+                if is_write {
+                    "dram.writes"
+                } else {
+                    "dram.reads"
+                },
+                now,
+                1,
+            );
+            // Bank occupancy: array-busy cycles this access added.
+            tl.count("dram.busy_cycles", now, data_ready - start);
+            tl.observe("dram.latency", now, done - now);
+        }
         if self.trace_on {
             self.obs.tracer.emit(
                 now,

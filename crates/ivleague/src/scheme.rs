@@ -149,10 +149,12 @@ pub struct IvLeagueSubsystem {
     pt_base: u64,
     stats: IvStats,
     obs: Obs,
-    /// Cached `obs.tracer.enabled()` / `obs.profiler.is_enabled()` so the
-    /// per-access path branches on a bool instead of chasing the handles.
+    /// Cached `obs.tracer.enabled()` / `obs.profiler.is_enabled()` /
+    /// `obs.timeline.enabled()` so the per-access path branches on a bool
+    /// instead of chasing the handles.
     trace_on: bool,
     prof_on: bool,
+    tl_on: bool,
 }
 
 impl IvLeagueSubsystem {
@@ -256,6 +258,7 @@ impl IvLeagueSubsystem {
             obs: Obs::disabled(),
             trace_on: false,
             prof_on: false,
+            tl_on: false,
         }
     }
 
@@ -407,6 +410,9 @@ impl IvLeagueSubsystem {
                 }
                 None => {
                     self.stats.nflb.miss();
+                    if self.tl_on {
+                        self.obs.timeline.count("scheme.nflb_misses", t, 1);
+                    }
                     t = dram.access(t, addr, false);
                     self.stats.nfl_mem_reads += 1;
                     self.stats.meta_reads += 1;
@@ -516,6 +522,9 @@ impl IvLeagueSubsystem {
             if !is_write {
                 path_len += 1;
                 self.stats.fetches_by_level[(n.level as usize - 1).min(7)] += 1;
+                if self.tl_on {
+                    self.obs.timeline.count("scheme.walk_legs", t, 1);
+                }
             }
             node = g.parent(n);
         }
@@ -539,6 +548,9 @@ impl IvLeagueSubsystem {
                 self.stats.meta_reads += 1;
                 if !is_write {
                     path_len += 1;
+                    if self.tl_on {
+                        self.obs.timeline.count("scheme.walk_legs", t, 1);
+                    }
                 }
                 tail = self.lat.terminal(0, false);
             }
@@ -588,6 +600,9 @@ impl IvLeagueSubsystem {
                 match event {
                     HotEvent::Promote(_) => self.stats.hot_migrations += 1,
                     HotEvent::Demote(_) => self.stats.hot_demotions += 1,
+                }
+                if self.tl_on {
+                    self.obs.timeline.count("scheme.hot_churn", now, 1);
                 }
                 // Hash copy between node blocks + LMM/PTE refresh.
                 let from = self.tl_layout.node_block(m.from.treeling, m.from.node);
@@ -723,6 +738,10 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         let done = match &mut self.mapper {
             Mapper::Nfl(f) => match f.map_page(domain, page) {
                 Ok(out) => {
+                    self.stats.nfl_claims += 1;
+                    if self.tl_on {
+                        self.obs.timeline.count("scheme.nfl_claims", now, 1);
+                    }
                     let mut t = self.charge_nfl_ops(now, dram, domain, &out.nfl_ops);
                     // PTE/LMM write for the new mapping.
                     dram.access(t, pte_block(self.pt_base, page), true);
@@ -798,6 +817,10 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         let t = match &mut self.mapper {
             Mapper::Nfl(f) => match f.unmap_page(domain, page) {
                 Ok(out) => {
+                    self.stats.nfl_recycles += 1;
+                    if self.tl_on {
+                        self.obs.timeline.count("scheme.nfl_recycles", now, 1);
+                    }
                     let t = self.charge_nfl_ops(now, dram, domain, &out.nfl_ops);
                     if let Mapper::Nfl(f) = &mut self.mapper {
                         f.recycle_ops(out.nfl_ops);
@@ -857,6 +880,7 @@ impl IntegritySubsystem for IvLeagueSubsystem {
         self.obs = obs.clone();
         self.trace_on = self.obs.tracer.enabled();
         self.prof_on = self.obs.profiler.is_enabled();
+        self.tl_on = self.obs.timeline.enabled();
     }
 
     fn export_stats(&self, prefix: &str, reg: &mut StatsRegistry) {
@@ -1162,6 +1186,7 @@ mod tests {
         let obs = Obs {
             tracer: Tracer::bounded(DEFAULT_TRACE_CAP, TraceFilter::default()),
             profiler: Profiler::enabled(),
+            timeline: ivl_sim_core::obs::Timeline::bounded(1_000, 1 << 12),
         };
         s.attach_obs(&obs);
 

@@ -237,6 +237,15 @@ impl ShardedForest {
     /// Claims one free leaf in `treeling`. Returns `None` when the TreeLing
     /// is (or transiently looks) full.
     pub fn claim(&self, treeling: TreeLingId) -> Option<SlotHandle> {
+        let mut retries = 0u64;
+        self.claim_counted(treeling, &mut retries)
+    }
+
+    /// [`claim`](Self::claim), additionally accumulating this call's CAS
+    /// losses into `retries` — the per-thread contention signal the
+    /// timeline's per-worker `forest.w<i>.cas_retries` series is built from
+    /// (the striped forest counter only has the cross-thread total).
+    pub fn claim_counted(&self, treeling: TreeLingId, retries: &mut u64) -> Option<SlotHandle> {
         let t = treeling.0 as usize;
         if self.free_count(t).load(Ordering::Relaxed) == 0 {
             return None;
@@ -268,6 +277,7 @@ impl ShardedForest {
                     }
                     Err(seen) => {
                         self.stats.cas_retries.add(t);
+                        *retries += 1;
                         cur = seen;
                     }
                 }
@@ -352,6 +362,9 @@ pub struct DomainAlloc<'a> {
     owned: Vec<TreeLingId>,
     /// Index into `owned` of the TreeLing serving allocations.
     cursor: usize,
+    /// CAS losses this front has personally suffered (thread-local view of
+    /// the forest's striped `cas_retries` total).
+    retries: u64,
 }
 
 impl<'a> DomainAlloc<'a> {
@@ -362,6 +375,7 @@ impl<'a> DomainAlloc<'a> {
             domain,
             owned: Vec::new(),
             cursor: 0,
+            retries: 0,
         }
     }
 
@@ -370,29 +384,39 @@ impl<'a> DomainAlloc<'a> {
         &self.owned
     }
 
+    /// CAS losses this front has suffered across its `alloc` calls.
+    pub fn cas_retries(&self) -> u64 {
+        self.retries
+    }
+
     /// Claims a leaf slot: current TreeLing first, then the domain's other
     /// TreeLings (a *shard steal*), then a fresh TreeLing from the FIFO.
     /// `None` means TreeLing starvation (counted on the forest).
     pub fn alloc(&mut self) -> Option<SlotHandle> {
         if let Some(&tid) = self.owned.get(self.cursor) {
-            if let Some(h) = self.forest.claim(tid) {
+            if let Some(h) = self.forest.claim_counted(tid, &mut self.retries) {
                 return Some(h);
             }
         }
+        let mut steal = None;
         for (i, &tid) in self.owned.iter().enumerate() {
             if i == self.cursor {
                 continue;
             }
-            if let Some(h) = self.forest.claim(tid) {
+            if let Some(h) = self.forest.claim_counted(tid, &mut self.retries) {
                 self.forest.stats.shard_steals.add(self.domain.index());
-                self.cursor = i;
-                return Some(h);
+                steal = Some((h, i));
+                break;
             }
+        }
+        if let Some((h, i)) = steal {
+            self.cursor = i;
+            return Some(h);
         }
         let tid = self.forest.acquire_treeling(self.domain)?;
         self.owned.push(tid);
         self.cursor = self.owned.len() - 1;
-        self.forest.claim(tid)
+        self.forest.claim_counted(tid, &mut self.retries)
     }
 
     /// Releases a slot claimed from this forest. Stale handles are

@@ -22,7 +22,8 @@ use std::time::{Duration, Instant};
 use ivl_leakfuzz::corpus::{self, CorpusEntry};
 use ivl_leakfuzz::fuzz::{fuzz_with, Finding, FuzzConfig};
 use ivl_leakfuzz::harness::{run_program, run_program_with_obs, HarnessConfig};
-use ivl_sim_core::obs::{write_trace_jsonl, Obs, Profiler, TraceFilter, Tracer};
+use ivl_sim_core::obs::timeline::write_timeline_jsonl;
+use ivl_sim_core::obs::{write_trace_jsonl, Obs, Profiler, Timeline, TraceFilter, Tracer};
 use ivl_simulator::system::SchemeKind;
 use ivl_simulator::{run_mix, run_mix_par, EngineKind, RunConfig};
 
@@ -56,15 +57,26 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// Re-runs a finding's program with tracing live and dumps the trace —
-/// the forensic artifact the nightly job uploads next to the `.kv`.
+/// Re-runs a finding's program with tracing and the windowed timeline live
+/// and dumps both — the forensic artifacts the nightly job uploads next to
+/// the `.kv`. The timeline lands beside the trace with a `.timeline.jsonl`
+/// suffix, turning the raw counterexample into a metrics-over-time
+/// narrative (DRAM, LLC, walk-leg series around the probe window).
 fn dump_trace(finding: &Finding, cfg: &HarnessConfig, path: &Path) -> std::io::Result<()> {
     let obs = Obs {
         tracer: Tracer::bounded(1 << 20, TraceFilter::default()),
         profiler: Profiler::disabled(),
+        // A fine-grained window: shrunk programs run for few cycles, so the
+        // default 10k-cycle window would flatten the whole run into one cell.
+        timeline: Timeline::bounded(256, 1 << 14),
     };
     run_program_with_obs(finding.scheme, &finding.program, cfg, &obs);
-    write_trace_jsonl(&obs.tracer.sorted_records(), path)
+    write_trace_jsonl(&obs.tracer.sorted_records(), path)?;
+    let tl_path = match path.to_str() {
+        Some(p) => PathBuf::from(p.replace(".trace.jsonl", ".timeline.jsonl")),
+        None => path.with_extension("timeline.jsonl"),
+    };
+    write_timeline_jsonl(&obs.timeline.snapshot(), &tl_path)
 }
 
 fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {

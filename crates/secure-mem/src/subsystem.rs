@@ -52,6 +52,10 @@ pub struct IvStats {
     pub nfl_mem_reads: u64,
     /// NFL-induced DRAM writes (IvLeague only).
     pub nfl_mem_writes: u64,
+    /// Pages claimed from the NFL free pool (IvLeague only).
+    pub nfl_claims: u64,
+    /// Pages recycled back into the NFL free pool (IvLeague only).
+    pub nfl_recycles: u64,
     /// Hotpage migrations performed (IvLeague-Pro only).
     pub hot_migrations: u64,
     /// Pages demoted out of the hot region (IvLeague-Pro only).
@@ -100,6 +104,8 @@ impl IvStats {
             nflb: self.nflb.since(earlier.nflb),
             nfl_mem_reads: self.nfl_mem_reads.saturating_sub(earlier.nfl_mem_reads),
             nfl_mem_writes: self.nfl_mem_writes.saturating_sub(earlier.nfl_mem_writes),
+            nfl_claims: self.nfl_claims.saturating_sub(earlier.nfl_claims),
+            nfl_recycles: self.nfl_recycles.saturating_sub(earlier.nfl_recycles),
             hot_migrations: self.hot_migrations.saturating_sub(earlier.hot_migrations),
             hot_demotions: self.hot_demotions.saturating_sub(earlier.hot_demotions),
             alloc_failures: self.alloc_failures.saturating_sub(earlier.alloc_failures),
@@ -132,6 +138,8 @@ impl IvStats {
         let optional = [
             ("nfl_mem_reads", self.nfl_mem_reads),
             ("nfl_mem_writes", self.nfl_mem_writes),
+            ("nfl_claims", self.nfl_claims),
+            ("nfl_recycles", self.nfl_recycles),
             ("hot_migrations", self.hot_migrations),
             ("hot_demotions", self.hot_demotions),
             ("alloc_failures", self.alloc_failures),

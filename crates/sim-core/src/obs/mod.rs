@@ -7,7 +7,10 @@
 //! * [`trace`] — a bounded, cycle-stamped, typed event ring with a JSONL
 //!   sink and forensics helpers;
 //! * [`profile`] — scoped host-time timers aggregated into a per-run
-//!   self-profile.
+//!   self-profile;
+//! * [`timeline`] — windowed simulated-time metric series (counters,
+//!   gauges, log₂ histograms per cycle window) with deterministic
+//!   per-worker merge and JSONL/CSV export.
 //!
 //! Models receive a cloneable [`Obs`] handle; a default-constructed
 //! handle is fully disabled and costs one branch per would-be event.
@@ -21,15 +24,20 @@
 //! | `IVL_TRACE_CAP` | ring capacity (default `2^20` records) |
 //! | `IVL_STATS_JSON` | write the measured stats registry (flat JSON) to this path |
 //! | `IVL_PROFILE` | `1` → enable host-time self-profiling (exported into the stats) |
+//! | `IVL_TIMELINE` | `1`/`true` → record windowed time series to a default file; any other value → to that path |
+//! | `IVL_TIMELINE_WINDOW` | window width in simulated cycles (default `10_000`) |
+//! | `IVL_TIMELINE_CAP` | retained windows per series (default `4096`, drop-oldest) |
 
 pub mod profile;
 pub mod registry;
+pub mod timeline;
 pub mod trace;
 
 use std::path::{Path, PathBuf};
 
 pub use profile::{Phase, Profiler};
 pub use registry::{StatValue, StatsRegistry};
+pub use timeline::{Timeline, TimelineData, DEFAULT_TIMELINE_CAP, DEFAULT_TIMELINE_WINDOW};
 pub use trace::{
     CacheKind, EventKind, RowResult, TraceFilter, TraceRecord, Tracer, DEFAULT_TRACE_CAP,
 };
@@ -45,6 +53,8 @@ pub struct Obs {
     pub tracer: Tracer,
     /// Host-time self-profiler.
     pub profiler: Profiler,
+    /// Windowed simulated-time series recorder.
+    pub timeline: Timeline,
 }
 
 impl Obs {
@@ -66,12 +76,17 @@ impl Obs {
             } else {
                 Profiler::disabled()
             },
+            timeline: if cfg.timeline {
+                Timeline::bounded(cfg.timeline_window, cfg.timeline_cap)
+            } else {
+                Timeline::disabled()
+            },
         }
     }
 
     /// Whether anything is enabled.
     pub fn any_enabled(&self) -> bool {
-        self.tracer.enabled() || self.profiler.is_enabled()
+        self.tracer.enabled() || self.profiler.is_enabled() || self.timeline.enabled()
     }
 }
 
@@ -91,6 +106,14 @@ pub struct ObsConfig {
     pub stats_path: Option<PathBuf>,
     /// Measure host-time phases.
     pub profile: bool,
+    /// Record windowed simulated-time series.
+    pub timeline: bool,
+    /// Timeline window width in simulated cycles.
+    pub timeline_window: u64,
+    /// Retained windows per timeline series.
+    pub timeline_cap: usize,
+    /// Timeline JSONL sink path (`None` → caller decides / no file).
+    pub timeline_path: Option<PathBuf>,
 }
 
 impl ObsConfig {
@@ -98,6 +121,8 @@ impl ObsConfig {
     pub fn off() -> Self {
         ObsConfig {
             trace_cap: DEFAULT_TRACE_CAP,
+            timeline_window: DEFAULT_TIMELINE_WINDOW,
+            timeline_cap: DEFAULT_TIMELINE_CAP,
             ..ObsConfig::default()
         }
     }
@@ -136,12 +161,35 @@ impl ObsConfig {
             let v = v.trim();
             cfg.profile = !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false");
         }
+        if let Ok(v) = std::env::var("IVL_TIMELINE") {
+            let v = v.trim();
+            if !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false") {
+                cfg.timeline = true;
+                cfg.timeline_path = Some(PathBuf::from(
+                    if v == "1" || v.eq_ignore_ascii_case("true") {
+                        "ivl_timeline.jsonl"
+                    } else {
+                        v
+                    },
+                ));
+            }
+        }
+        if let Ok(v) = std::env::var("IVL_TIMELINE_WINDOW") {
+            if let Ok(w) = v.trim().parse::<u64>() {
+                cfg.timeline_window = w.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("IVL_TIMELINE_CAP") {
+            if let Ok(cap) = v.trim().parse::<usize>() {
+                cfg.timeline_cap = cap.max(1);
+            }
+        }
         cfg
     }
 
     /// Whether any sink or instrument is on.
     pub fn any_enabled(&self) -> bool {
-        self.trace || self.stats_path.is_some() || self.profile
+        self.trace || self.stats_path.is_some() || self.profile || self.timeline
     }
 }
 
@@ -207,9 +255,11 @@ mod tests {
         let mut cfg = ObsConfig::off();
         cfg.trace = true;
         cfg.profile = true;
+        cfg.timeline = true;
         let obs = Obs::from_config(&cfg);
         assert!(obs.tracer.enabled());
         assert!(obs.profiler.is_enabled());
+        assert!(obs.timeline.enabled());
         assert!(!Obs::from_config(&ObsConfig::off()).any_enabled());
     }
 

@@ -176,6 +176,29 @@ impl StatsRegistry {
         }
     }
 
+    /// The `pct`-th percentile (in `0.0..=1.0`) of the histogram at `path`,
+    /// read as "the smallest bin index whose cumulative count reaches
+    /// `pct · total`" — registry histograms are index-valued (bin *i* counts
+    /// occurrences of value *i*, e.g. walk depth). `None` when the path is
+    /// not a histogram or the histogram is empty.
+    pub fn histogram_percentile(&self, path: &str, pct: f64) -> Option<u64> {
+        match self.get(path)? {
+            StatValue::Histogram(bins) => {
+                let total = bins.iter().fold(0u64, |a, &b| a.saturating_add(b));
+                if total == 0 {
+                    return None;
+                }
+                Some(crate::obs::timeline::percentile_of_bins(
+                    bins,
+                    total,
+                    pct,
+                    |i| i as u64,
+                ))
+            }
+            _ => None,
+        }
+    }
+
     /// Iterates `(path, value)` pairs in path order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &StatValue)> {
         self.nodes.iter().map(|(k, v)| (k.as_str(), v))
@@ -199,7 +222,8 @@ impl StatsRegistry {
 
     /// Exports through the in-tree `kv` serializer: counters and gauges
     /// map directly, ratios expand to `.hits`/`.misses`/`.hit_rate`,
-    /// histograms to `.bin<i>`/`.total`/`.mean`.
+    /// histograms to `.bin<i>`/`.total` plus `.p50`/`.p95`/`.p99`
+    /// percentile bins (omitted when empty).
     pub fn to_kv(&self) -> KvDoc {
         let mut doc = KvDoc::new();
         let clamp = |v: u64| v.min(i64::MAX as u64);
@@ -223,6 +247,11 @@ impl StatsRegistry {
                         &format!("{path}.total"),
                         clamp(bins.iter().fold(0u64, |a, &b| a.saturating_add(b))),
                     );
+                    for (tag, pct) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                        if let Some(p) = self.histogram_percentile(path, pct) {
+                            doc.set_u64(&format!("{path}.{tag}"), clamp(p));
+                        }
+                    }
                 }
             }
         }
@@ -546,6 +575,23 @@ mod tests {
         );
         assert!(text.contains("bin2 = 9"));
         assert!(text.contains("[dram]\nreads = 123"));
+        // Percentile satellites ride along in the table export.
+        assert!(text.contains("p50 = 2"));
+        assert!(text.contains("p95 = 2"));
+        assert!(text.contains("p99 = 2"));
+    }
+
+    #[test]
+    fn histogram_percentiles_walk_cumulative_bins() {
+        let r = sample();
+        // bins [0, 5, 9, 0], total 14: p·14 targets 7 → bin 2, 0.25·14 → bin 1.
+        assert_eq!(r.histogram_percentile("scheme.walk_depth", 0.50), Some(2));
+        assert_eq!(r.histogram_percentile("scheme.walk_depth", 0.25), Some(1));
+        assert_eq!(r.histogram_percentile("scheme.walk_depth", 0.99), Some(2));
+        assert_eq!(r.histogram_percentile("dram.reads", 0.5), None);
+        let mut empty = StatsRegistry::new();
+        empty.set_histogram("h", &[0, 0]);
+        assert_eq!(empty.histogram_percentile("h", 0.5), None);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property tests on the observability layer: registry JSON round-trips
-//! exactly, epoch deltas obey counter arithmetic, and the trace ring stays
-//! bounded with `(cycle, seq)`-sorted, monotonic output.
+//! exactly, epoch deltas obey counter arithmetic, the trace ring stays
+//! bounded with `(cycle, seq)`-sorted, monotonic output, and the windowed
+//! timeline recorder is cap-bounded, merge-associative, and JSONL-exact.
 
+use ivl_sim_core::obs::timeline::TimelineData;
 use ivl_sim_core::obs::trace::{parse_jsonl, records_to_jsonl};
 use ivl_sim_core::obs::{
     CacheKind, EventKind, RowResult, StatValue, StatsRegistry, TraceFilter, Tracer,
@@ -101,7 +103,135 @@ fn fill_tracer(tracer: &Tracer, seed: u64, events: usize) {
     }
 }
 
+/// One recorded timeline operation; generated up front so the same stream
+/// can be replayed into one recorder or sharded across several.
+#[derive(Debug, Clone)]
+enum TlOp {
+    Count(String, u64, u64),
+    Gauge(String, u64, f64),
+    Observe(String, u64, u64),
+}
+
+/// Random operation stream. Series names are prefixed by kind so a name
+/// never changes cell type mid-stream (the recorder fixes the kind at the
+/// first record).
+fn random_tl_ops(seed: u64, ops: usize, max_cycle: u64) -> Vec<TlOp> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..ops)
+        .map(|_| {
+            let name = format!("s{}", rng.index(5));
+            let cycle = rng.next_u64() % max_cycle.max(1);
+            match rng.index(3) {
+                0 => TlOp::Count(format!("c.{name}"), cycle, 1 + rng.next_u64() % 100),
+                1 => TlOp::Gauge(
+                    format!("g.{name}"),
+                    cycle,
+                    (rng.next_u64() % 1_000_000) as f64 / 997.0,
+                ),
+                _ => TlOp::Observe(format!("h.{name}"), cycle, rng.next_u64() >> rng.index(60)),
+            }
+        })
+        .collect()
+}
+
+fn apply_tl_op(tl: &mut TimelineData, op: &TlOp) {
+    match op {
+        TlOp::Count(name, cycle, n) => tl.count(name, *cycle, *n),
+        TlOp::Gauge(name, cycle, v) => tl.gauge(name, *cycle, *v),
+        TlOp::Observe(name, cycle, v) => tl.observe(name, *cycle, *v),
+    }
+}
+
+fn replay_tl(ops: &[TlOp], window: u64, cap: usize) -> TimelineData {
+    let mut tl = TimelineData::new(window, cap);
+    for op in ops {
+        apply_tl_op(&mut tl, op);
+    }
+    tl
+}
+
 props! {
+    #[test]
+    fn timeline_windows_stay_bounded_and_sorted(
+        seed in any::<u64>(),
+        window in 1u64..500,
+        cap in 1usize..32,
+        ops in 0usize..300,
+    ) {
+        let tl = replay_tl(&random_tl_ops(seed, ops, 20_000), window, cap);
+        for (name, s) in &tl.series {
+            prop_assert!(
+                s.windows.len() <= cap,
+                "series {} holds {} windows over cap {}", name, s.windows.len(), cap
+            );
+            let indices: Vec<u64> = s.windows.iter().map(|(w, _)| *w).collect();
+            for w in indices.windows(2) {
+                prop_assert!(w[0] < w[1], "window indices must be strictly increasing");
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_merge_is_associative_and_commutative(
+        sa in any::<u64>(),
+        sb in any::<u64>(),
+        sc in any::<u64>(),
+        ops in 0usize..120,
+    ) {
+        // Cap far above the reachable window count: merge-order identities
+        // hold whenever the cap never evicts (the engines run that way).
+        const W: u64 = 64;
+        const CAP: usize = 1 << 12;
+        let a = replay_tl(&random_tl_ops(sa, ops, 50_000), W, CAP);
+        let b = replay_tl(&random_tl_ops(sb, ops, 50_000), W, CAP);
+        let c = replay_tl(&random_tl_ops(sc, ops, 50_000), W, CAP);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn merged_worker_shards_match_the_serial_recording(
+        seed in any::<u64>(),
+        parts in 1usize..6,
+        ops in 0usize..200,
+    ) {
+        // The ParSystem contract: one stream recorded whole, or sharded
+        // round-robin across workers and merged, lands bit-identical.
+        const W: u64 = 128;
+        const CAP: usize = 1 << 12;
+        let stream = random_tl_ops(seed, ops, 60_000);
+        let serial = replay_tl(&stream, W, CAP);
+        let mut shards: Vec<TimelineData> =
+            (0..parts).map(|_| TimelineData::new(W, CAP)).collect();
+        for (i, op) in stream.iter().enumerate() {
+            apply_tl_op(&mut shards[i % parts], op);
+        }
+        let mut merged = TimelineData::new(W, CAP);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn timeline_jsonl_round_trips(seed in any::<u64>(), ops in 0usize..200) {
+        let tl = replay_tl(&random_tl_ops(seed, ops, 30_000), 256, 24);
+        let parsed = TimelineData::parse_jsonl(&tl.to_jsonl()).expect("own JSONL parses");
+        prop_assert_eq!(parsed, tl);
+    }
+
     #[test]
     fn registry_json_round_trips(seed in any::<u64>(), entries in 0usize..40) {
         let reg = random_registry(seed, entries);

@@ -40,14 +40,23 @@
 //! # Determinism boundary
 //!
 //! Everything exported through [`MixResult`] and the stats registry is
-//! bit-identical to serial **except** the `par.*` wait counters
-//! (`par.epoch_waits`, `par.backpressure_waits`), which measure real
-//! scheduling behavior and legitimately vary run to run. The self-profiler
-//! only ever times commit-side phases in this engine; producer-side work
-//! is deliberately unprofiled (a wall-clock scope on another thread would
-//! be attributed to nothing meaningful).
+//! bit-identical to serial **except** the `par.*` namespace
+//! (`par.epoch_waits`, `par.backpressure_waits`, the
+//! `par.commitphase.*` attribution counters), which measures real
+//! scheduling behavior and legitimately varies run to run. The same split
+//! holds for the windowed timeline: `dram.*`/`llc.*`/`scheme.*` series are
+//! emitted by the commit thread at the exact cycles the serial engine
+//! would use and compare bit-identical, while `par.w<i>.*` and
+//! `par.commit.*` series carry genuinely cross-thread/real-time signal and
+//! are excluded from the comparison. The self-profiler only ever times
+//! commit-side phases in this engine; producer-side work is deliberately
+//! unprofiled (a wall-clock scope on another thread would be attributed to
+//! nothing meaningful) — producers do, however, record their own
+//! backpressure series locally and hand the snapshot back for a
+//! deterministic-order merge at join.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 use crate::calendar::EventCalendar;
 use crate::system::{
@@ -60,7 +69,9 @@ use ivl_dram::DramModel;
 use ivl_secure_mem::subsystem::IvStats;
 use ivl_sim_core::config::SystemConfig;
 use ivl_sim_core::domain::DomainId;
-use ivl_sim_core::obs::{CacheKind, EventKind, Obs, ObsConfig, Phase, StatsRegistry};
+use ivl_sim_core::obs::{
+    CacheKind, EventKind, Obs, ObsConfig, Phase, StatsRegistry, Timeline, TimelineData,
+};
 use ivl_sim_core::stats::HitMiss;
 use ivl_sim_core::Cycle;
 use ivl_testkit::spsc::{Consumer, Spsc};
@@ -153,8 +164,23 @@ fn next_front_event(front: &mut Front) -> FrontEv {
 /// event per front per pass. A full ring never blocks the worker — the
 /// undeliverable event parks in a per-front `pending` slot and the worker
 /// moves on, so one slow consumer cannot stall another front's stream.
-fn producer_loop(mut fronts: Vec<Front>, stops: &[AtomicBool], backpressure: &AtomicU64) {
+///
+/// When a timeline is handed in, backpressure stalls are recorded as a
+/// `par.w<wid>.backpressure` series keyed on the worker's *pass counter*
+/// (producers have no simulated clock — the pass index is their own
+/// monotonic notion of progress). The snapshot is returned at exit for the
+/// commit thread to merge; series names are worker-unique, so the merge is
+/// a plain union regardless of join order.
+fn producer_loop(
+    mut fronts: Vec<Front>,
+    stops: &[AtomicBool],
+    backpressure: &AtomicU64,
+    wid: usize,
+    mut tl: Option<TimelineData>,
+) -> Option<TimelineData> {
+    let series = format!("par.w{wid}.backpressure");
     let mut pending: Vec<Option<FrontEv>> = fronts.iter().map(|_| None).collect();
+    let mut passes = 0u64;
     loop {
         let mut progressed = false;
         let mut all_stopped = true;
@@ -181,12 +207,104 @@ fn producer_loop(mut fronts: Vec<Front>, stops: &[AtomicBool], backpressure: &At
         if all_stopped {
             break;
         }
+        passes += 1;
         if !progressed {
             // Every live ring is full: the commit thread is the
             // bottleneck. Count it and get out of its way.
             backpressure.fetch_add(1, Ordering::Relaxed);
+            if let Some(tl) = tl.as_mut() {
+                tl.count(&series, passes, 1);
+            }
             std::thread::yield_now();
         }
+    }
+    tl
+}
+
+/// Commit-thread phase names, in accumulator index order. `other` is the
+/// residual bucket (warm-flip polls, event dispatch, trace emission);
+/// every other phase maps onto a stage of the replayed serial algorithm.
+const COMMIT_PHASES: [&str; 5] = ["calendar", "generation", "l2_replay", "integrity", "other"];
+const P_CAL: usize = 0;
+const P_GEN: usize = 1;
+const P_L2: usize = 2;
+const P_INT: usize = 3;
+const P_OTHER: usize = 4;
+
+/// Windowed-timeline series name per phase (`par.commit.<phase>_ns`).
+const COMMIT_SERIES: [&str; 5] = [
+    "par.commit.calendar_ns",
+    "par.commit.generation_ns",
+    "par.commit.l2_replay_ns",
+    "par.commit.integrity_ns",
+    "par.commit.other_ns",
+];
+
+/// Checkpoint-based wall-clock attribution for the commit thread.
+///
+/// Consecutive [`CommitProf::mark`] calls partition the commit loop's real
+/// time *exhaustively*: whatever ran since the previous checkpoint is
+/// charged to the phase named at the next one, so the per-phase sums add
+/// up to the full profiled span with no un-attributed gaps — the property
+/// the folded-stack coverage gate in `timeline_report` relies on. Each
+/// increment also streams into the windowed timeline (keyed on the
+/// simulated cycle of the event being committed), turning the profile into
+/// a phase-attribution series over simulated time.
+struct CommitProf {
+    enabled: bool,
+    tl: Timeline,
+    last: Instant,
+    nanos: [u64; COMMIT_PHASES.len()],
+}
+
+impl CommitProf {
+    fn new(enabled: bool, tl: Timeline) -> Self {
+        CommitProf {
+            enabled,
+            tl,
+            last: Instant::now(),
+            nanos: [0; COMMIT_PHASES.len()],
+        }
+    }
+
+    /// Charges everything since the previous checkpoint to `phase`.
+    #[inline]
+    fn mark(&mut self, phase: usize, cycle: Cycle) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.nanos[phase] += ns;
+        if ns > 0 {
+            self.tl.count(COMMIT_SERIES[phase], cycle, ns);
+        }
+        // Re-stamp *after* the window insertion so the recorder's own cost
+        // is excluded from every phase (it would otherwise pollute whichever
+        // phase happens to follow each checkpoint).
+        self.last = Instant::now();
+    }
+
+    /// Zeroes the accumulators at the warmup→measurement flip so the
+    /// exported profile covers exactly the measurement window.
+    fn reset(&mut self) {
+        self.nanos = [0; COMMIT_PHASES.len()];
+        self.last = Instant::now();
+    }
+
+    /// Exports `par.commitphase.<phase>.micros` plus the total. Real-time
+    /// measurements: exported after the epoch delta, like the profiler,
+    /// and legitimately nondeterministic.
+    fn export(&self, reg: &mut StatsRegistry) {
+        if !self.enabled {
+            return;
+        }
+        let mut total = 0u64;
+        for (name, ns) in COMMIT_PHASES.iter().zip(self.nanos) {
+            reg.set_counter(&format!("par.commitphase.{name}.micros"), ns / 1_000);
+            total += ns;
+        }
+        reg.set_counter("par.commitphase.total.micros", total / 1_000);
     }
 }
 
@@ -316,6 +434,10 @@ pub fn run_mix_observed_par(
     let obs = Obs::from_config(obs_cfg);
     let trace_on = obs.tracer.enabled();
     let prof_on = obs.profiler.is_enabled();
+    let tl_on = obs.timeline.enabled();
+    // Phase attribution rides along whenever either recorder wants it; the
+    // timeline side of `mark` is a no-op on a disabled handle.
+    let mut cprof = CommitProf::new(tl_on || prof_on, obs.timeline.clone());
     let mut scheme = scheme_kind.build(cfg);
     scheme.as_subsystem().attach_obs(&obs);
     let mut dram = DramModel::new(&cfg.dram);
@@ -427,6 +549,12 @@ pub fn run_mix_observed_par(
     let mut llc_writebacks: Vec<u64> = Vec::new();
     let debug_warm = std::env::var("IVL_DEBUG_WARM").is_ok();
 
+    // Per-worker commit-side stall series names, allocated once so the hot
+    // loop emits with `&str` only.
+    let wait_series: Vec<String> = (0..worker_count)
+        .map(|w| format!("par.w{w}.epoch_waits"))
+        .collect();
+
     let mut calendar = ShardedCalendar::new(worker_count);
     for (i, c) in cores.iter().enumerate() {
         if c.accesses < measure_total {
@@ -437,12 +565,17 @@ pub fn run_mix_observed_par(
     std::thread::scope(|s| {
         let stops_ref = &stops;
         let backpressure_ref = &backpressure;
-        for fronts in worker_fronts {
-            s.spawn(move || producer_loop(fronts, stops_ref, backpressure_ref));
+        let mut producer_handles = Vec::with_capacity(worker_count);
+        for (wid, fronts) in worker_fronts.into_iter().enumerate() {
+            let tl =
+                tl_on.then(|| TimelineData::new(obs_cfg.timeline_window, obs_cfg.timeline_cap));
+            producer_handles
+                .push(s.spawn(move || producer_loop(fronts, stops_ref, backpressure_ref, wid, tl)));
         }
 
         // ── The commit loop: the serial algorithm, fed from rings. ──
         while let Some(idx) = calendar.pop() {
+            cprof.mark(P_CAL, cores[idx].now);
             if debug_warm && !measuring {
                 let states: Vec<String> = cores
                     .iter()
@@ -459,6 +592,11 @@ pub fn run_mix_observed_par(
                 measuring = true;
                 epoch_stats = *scheme.stats();
                 export_par_run_stats(&scheme, &dram, &llc, &cores, &mut epoch_reg);
+                // Same flip-aligned wipe as the serial engine, so window
+                // sums equal registry epoch deltas; the phase profile
+                // restarts with the measurement window too.
+                obs.timeline.clear();
+                cprof.reset();
                 if obs.tracer.enabled() {
                     let flip = cores.iter().map(|c| c.now).min().unwrap_or(0);
                     obs.tracer.emit(
@@ -476,7 +614,17 @@ pub fn run_mix_observed_par(
             }
 
             let gen_idx = cores[idx].gen;
+            cprof.mark(P_OTHER, cores[idx].now);
+            let waits_before = epoch_waits;
             let fe = pop_ring(&mut consumers[gen_idx], &mut epoch_waits);
+            cprof.mark(P_GEN, cores[idx].now);
+            if tl_on && epoch_waits > waits_before {
+                obs.timeline.count(
+                    &wait_series[shard_of_gen[gen_idx]],
+                    cores[idx].now,
+                    epoch_waits - waits_before,
+                );
+            }
             last_warm[gen_idx] = fe.warmed;
             let core = &mut cores[idx];
             'event: {
@@ -515,6 +663,7 @@ pub fn run_mix_observed_par(
                                 (st.hit, st.evicted_any, st.evict_dirty_key)
                             }
                         };
+                        cprof.mark(P_L2, core.now);
                         if trace_on {
                             obs.tracer.emit(
                                 core.now,
@@ -542,6 +691,16 @@ pub fn run_mix_observed_par(
                             llc.access(key, is_write)
                         };
                         let llc_hit = llc_out.hit;
+                        cprof.mark(P_L2, core.now);
+                        if tl_on {
+                            ivl_cache::timeline_outcome(
+                                &obs.timeline,
+                                core.now,
+                                &llc_out,
+                                "llc.misses",
+                                "llc.evictions",
+                            );
+                        }
                         if trace_on {
                             obs.tracer.emit(
                                 core.now,
@@ -566,8 +725,19 @@ pub fn run_mix_observed_par(
                                 true,
                             );
                         }
+                        cprof.mark(P_INT, core.now);
                         for wb in llc_writebacks.drain(..) {
                             let out = llc.access(wb, true);
+                            cprof.mark(P_L2, core.now);
+                            if tl_on {
+                                ivl_cache::timeline_outcome(
+                                    &obs.timeline,
+                                    core.now,
+                                    &out,
+                                    "llc.misses",
+                                    "llc.evictions",
+                                );
+                            }
                             if let Some(e) = out.evicted.filter(|e| e.dirty) {
                                 let _integrity_timing =
                                     prof_on.then(|| obs.profiler.scope(Phase::Integrity));
@@ -579,6 +749,7 @@ pub fn run_mix_observed_par(
                                     true,
                                 );
                             }
+                            cprof.mark(P_INT, core.now);
                         }
                         if llc_hit {
                             break 'event;
@@ -594,6 +765,7 @@ pub fn run_mix_observed_par(
                                 is_write,
                             )
                         };
+                        cprof.mark(P_INT, core.now);
                         let latency = done.saturating_sub(core.now);
                         if measuring && !is_write {
                             llc_miss_reads += 1;
@@ -610,6 +782,7 @@ pub fn run_mix_observed_par(
                             page,
                             core.domain,
                         );
+                        cprof.mark(P_INT, core.now);
                         core.now = done + 200;
                         core.instrs += 50;
                     }
@@ -620,12 +793,14 @@ pub fn run_mix_observed_par(
                             }
                             llc.invalidate(b.index());
                         }
+                        cprof.mark(P_L2, core.now);
                         let done = scheme.as_subsystem().page_dealloc(
                             core.now,
                             &mut dram,
                             page,
                             core.domain,
                         );
+                        cprof.mark(P_INT, core.now);
                         core.now = done + 100;
                         core.instrs += 30;
                     }
@@ -647,6 +822,15 @@ pub fn run_mix_observed_par(
 
         for stop in &stops {
             stop.store(true, Ordering::Release);
+        }
+        // Fold every producer's locally recorded series into the shared
+        // timeline, in worker order. Names are worker-unique, so this is a
+        // deterministic union; merge itself is the saturating combine the
+        // property suite pins as associative and commutative.
+        for h in producer_handles {
+            if let Some(tl) = h.join().expect("producer thread panicked") {
+                obs.timeline.merge(&tl);
+            }
         }
     });
 
@@ -695,7 +879,15 @@ pub fn run_mix_observed_par(
         backpressure.load(Ordering::Relaxed),
     );
     obs.profiler.export(&mut registry);
+    cprof.export(&mut registry);
+    if obs.tracer.enabled() {
+        registry.set_counter("obs.trace.dropped", obs.tracer.dropped());
+    }
+    if tl_on {
+        registry.set_counter("obs.timeline.dropped", obs.timeline.dropped());
+    }
     let events = obs.tracer.sorted_records();
+    let timeline = obs.timeline.snapshot();
 
     let result = MixResult {
         mix: mix.name,
@@ -716,6 +908,7 @@ pub fn run_mix_observed_par(
         result,
         registry,
         events,
+        timeline,
     }
 }
 

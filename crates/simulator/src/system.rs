@@ -9,9 +9,10 @@ use ivl_secure_mem::baseline::GlobalBmtSubsystem;
 use ivl_secure_mem::subsystem::{IntegritySubsystem, IvStats, NoProtection};
 use ivl_sim_core::config::{IvVariant, SystemConfig};
 use ivl_sim_core::domain::DomainId;
+use ivl_sim_core::obs::timeline::write_timeline_jsonl;
 use ivl_sim_core::obs::{
     decorate_path, path_tag, write_stats_json, write_trace_jsonl, CacheKind, EventKind, Obs,
-    ObsConfig, Phase, StatsRegistry, TraceRecord,
+    ObsConfig, Phase, StatsRegistry, TimelineData, TraceRecord,
 };
 use ivl_sim_core::stats::HitMiss;
 use ivl_sim_core::Cycle;
@@ -400,6 +401,10 @@ pub struct ObservedRun {
     /// Trace records, stably sorted by `(cycle, seq)`; empty unless the
     /// config enables tracing.
     pub events: Vec<TraceRecord>,
+    /// Windowed simulated-time series over the measurement window (cleared
+    /// at the warmup→measurement flip); empty unless the config enables the
+    /// timeline.
+    pub timeline: TimelineData,
 }
 
 /// Runs one mix under one scheme.
@@ -445,6 +450,12 @@ pub fn run_mix_with_config(
         let path = decorate_path(p, &tag);
         if let Err(e) = write_stats_json(&observed.registry, &path) {
             eprintln!("warning: could not write stats {}: {e}", path.display());
+        }
+    }
+    if let Some(p) = &obs_cfg.timeline_path {
+        let path = decorate_path(p, &tag);
+        if let Err(e) = write_timeline_jsonl(&observed.timeline, &path) {
+            eprintln!("warning: could not write timeline {}: {e}", path.display());
         }
     }
     observed.result
@@ -543,6 +554,7 @@ pub fn run_mix_observed_with_scheduler(
     // re-querying the handles per event.
     let trace_on = obs.tracer.enabled();
     let prof_on = obs.profiler.is_enabled();
+    let tl_on = obs.timeline.enabled();
     let mut scheme = scheme_kind.build(cfg);
     scheme.as_subsystem().attach_obs(&obs);
     let mut dram = DramModel::new(&cfg.dram);
@@ -668,6 +680,9 @@ pub fn run_mix_observed_with_scheduler(
             measuring = true;
             epoch_stats = *scheme.stats();
             export_run_stats(&scheme, &dram, &llc, &cores, &mut epoch_reg);
+            // Clear at the same flip the registry snapshot is taken, so the
+            // timeline's window sums equal the registry's epoch deltas.
+            obs.timeline.clear();
             if obs.tracer.enabled() {
                 let flip = cores.iter().map(|c| c.now).min().unwrap_or(0);
                 obs.tracer.emit(
@@ -740,6 +755,15 @@ pub fn run_mix_observed_with_scheduler(
                         llc.access(key, is_write)
                     };
                     let llc_hit = llc_out.hit;
+                    if tl_on {
+                        ivl_cache::timeline_outcome(
+                            &obs.timeline,
+                            core.now,
+                            &llc_out,
+                            "llc.misses",
+                            "llc.evictions",
+                        );
+                    }
                     if trace_on {
                         obs.tracer.emit(
                             core.now,
@@ -767,6 +791,15 @@ pub fn run_mix_observed_with_scheduler(
                     }
                     for wb in llc_writebacks.drain(..) {
                         let out = llc.access(wb, true);
+                        if tl_on {
+                            ivl_cache::timeline_outcome(
+                                &obs.timeline,
+                                core.now,
+                                &out,
+                                "llc.misses",
+                                "llc.evictions",
+                            );
+                        }
                         if let Some(e) = out.evicted.filter(|e| e.dirty) {
                             let _integrity_timing =
                                 prof_on.then(|| obs.profiler.scope(Phase::Integrity));
@@ -885,9 +918,18 @@ pub fn run_mix_observed_with_scheduler(
     registry.set_counter("run.llc_miss_reads", llc_miss_reads);
     registry.set_counter("run.read_latency_sum", read_latency_sum);
     // Self-profile covers the whole run (warmup included) — exported after
-    // the delta so the epoch subtraction never touches it.
+    // the delta so the epoch subtraction never touches it. The obs-layer
+    // truncation counters ride along the same way: a nonzero value means a
+    // ring dropped data silently, visible in every JSON snapshot.
     obs.profiler.export(&mut registry);
+    if obs.tracer.enabled() {
+        registry.set_counter("obs.trace.dropped", obs.tracer.dropped());
+    }
+    if tl_on {
+        registry.set_counter("obs.timeline.dropped", obs.timeline.dropped());
+    }
     let events = obs.tracer.sorted_records();
+    let timeline = obs.timeline.snapshot();
 
     let result = MixResult {
         mix: mix.name,
@@ -908,6 +950,7 @@ pub fn run_mix_observed_with_scheduler(
         result,
         registry,
         events,
+        timeline,
     }
 }
 

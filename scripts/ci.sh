@@ -192,6 +192,15 @@ IVL_PAR_SYSTEM=1 IVL_PAR_WORKERS=2 \
     IVL_TRACE_CAP=50000 \
     cargo run -q -p ivl-bench --bin obs_run --locked --offline -- S-1 IvPro --quick
 
+step "timeline smoke (timeline_report --quick)"
+# Serial + ParSystem at 1/2/4 workers with the windowed timeline live:
+# the binary reconciles window sums against registry deltas, pins the
+# serial-comparable series bit-identical across engines, gates the
+# commit-thread folded stack at >= 95% named coverage, and round-trips
+# the JSONL it writes (uploaded as an artifact alongside the trace).
+IVL_TIMELINE="$(pwd)/target/obs_timeline.jsonl" \
+    cargo run -q -p ivl-bench --bin timeline_report --locked --offline -- S-1 IvPro --quick
+
 if [ "$PROFILE_FILTER" != "debug" ]; then
     step "figures wall-clock smoke (all_figures --quick)"
     # Runs the full figure campaign in quick mode against a wall-clock
