@@ -246,6 +246,17 @@ fn main() -> ExitCode {
                 parsed.gauge("attack.accuracy") == Some(attack.accuracy),
                 "attack.accuracy did not round-trip",
             );
+            // Idle-window skipping must actually engage on the default
+            // mix: cores sleep between misses, so touched banks always
+            // free up ahead of the next request. The counter is part of
+            // the deterministic figure state (serial == ParSystem), which
+            // the CI obs leg cross-checks across engines.
+            check(
+                parsed
+                    .counter("dram.idle_skipped_cycles")
+                    .is_some_and(|v| v > 0),
+                "dram.idle_skipped_cycles is zero — idle-window skipping never engaged",
+            );
             let expected_pairs = STORM_THREADS as u64 * STORM_PAIRS;
             check(
                 parsed.counter("forest.claims") == Some(expected_pairs),

@@ -46,6 +46,62 @@ fn event_calendar_is_bit_identical_to_linear_scan() {
     }
 }
 
+/// The heterogeneous calendar must keep the scheduler oracle honest now
+/// that it carries more than core-ready entries: a dense mixed stream of
+/// core/bank/bus/writeback events — many sharing a cycle — has to pop in
+/// exactly the order a linear scan over `(cycle, tie, insertion)` picks,
+/// with the class tie-spaces pinning same-cycle order to cores → banks →
+/// buses → writebacks. This is the ordering contract the event-driven
+/// DRAM model's bank-free/bus-drain scheduling relies on.
+#[test]
+fn mixed_event_kinds_pop_in_linear_scan_order() {
+    use ivl_simulator::calendar::{CalendarEvent, EventCalendar};
+
+    let mut cal: EventCalendar<CalendarEvent> = EventCalendar::new();
+    // Deterministic dense schedule: every cycle in 0..8 gets one event of
+    // each class, inserted in a class-rotated order so insertion order
+    // disagrees with the pinned class order.
+    let mut oracle: Vec<(u64, u64, usize, CalendarEvent)> = Vec::new();
+    let mut seq = 0usize;
+    for i in 0..32u64 {
+        let at = i % 8;
+        let ev = match (i + at) % 4 {
+            0 => CalendarEvent::DeferredWriteback((i % 4) as u32),
+            1 => CalendarEvent::BusDrain((i % 4) as u32),
+            2 => CalendarEvent::BankReady((i % 16) as u32),
+            _ => CalendarEvent::CoreReady((i % 8) as usize),
+        };
+        cal.schedule(at, ev.tie(), ev);
+        oracle.push((at, ev.tie(), seq, ev));
+        seq += 1;
+    }
+    // Linear-scan oracle: repeatedly remove the minimum (cycle, tie, seq).
+    while !oracle.is_empty() {
+        let min = oracle
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(at, tie, s, _))| (at, tie, s))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let (at, _, _, ev) = oracle.remove(min);
+        assert_eq!(cal.pop(), Some((at, ev)), "calendar diverged from scan");
+    }
+    assert_eq!(cal.pop(), None);
+    // Same-cycle class order is pinned regardless of instance ids.
+    for ev in [
+        CalendarEvent::DeferredWriteback(0),
+        CalendarEvent::BusDrain(3),
+        CalendarEvent::BankReady(63),
+        CalendarEvent::CoreReady(7),
+    ] {
+        cal.schedule(5, ev.tie(), ev);
+    }
+    assert_eq!(cal.pop(), Some((5, CalendarEvent::CoreReady(7))));
+    assert_eq!(cal.pop(), Some((5, CalendarEvent::BankReady(63))));
+    assert_eq!(cal.pop(), Some((5, CalendarEvent::BusDrain(3))));
+    assert_eq!(cal.pop(), Some((5, CalendarEvent::DeferredWriteback(0))));
+}
+
 /// The `ParSystem` engine — real threads stepping one simulated system's
 /// cores via decoupled front-ends — must also be invisible in the
 /// results: serial and parallel figure data have to match **bit-for-bit**

@@ -1,0 +1,137 @@
+//! Property tests for the event-driven DRAM substrate: completion times
+//! and idle-window accounting are a pure function of the access stream —
+//! invariant to where the runner places `advance_to` drains — and both
+//! match an independent slab-shadow model of the pre-event timing math.
+
+use ivl_dram::DramModel;
+use ivl_sim_core::addr::{BlockAddr, BLOCK_BYTES};
+use ivl_sim_core::config::{DramConfig, SystemConfig};
+use ivl_sim_core::rng::Xoshiro256;
+use ivl_sim_core::Cycle;
+use ivl_testkit::prelude::*;
+
+/// Independent replica of the timing slabs using the original lazy
+/// `now.max(slab)` math, plus the touched-bank rule the idle-skip counter
+/// is defined by: a request to a previously-touched bank whose array freed
+/// at `busy_until` skips `now - busy_until` idle cycles.
+struct SlabShadow {
+    cfg: DramConfig,
+    banks_per_channel: usize,
+    blocks_per_row: u64,
+    open_row: Vec<u64>,
+    busy_until: Vec<Cycle>,
+    bus_free: Vec<Cycle>,
+    touched: Vec<bool>,
+    idle_skipped: u64,
+}
+
+impl SlabShadow {
+    fn new(cfg: &DramConfig) -> Self {
+        let banks_per_channel = cfg.ranks_per_channel * cfg.banks_per_rank;
+        let total = cfg.channels * banks_per_channel;
+        SlabShadow {
+            cfg: *cfg,
+            banks_per_channel,
+            blocks_per_row: (cfg.row_bytes / BLOCK_BYTES) as u64,
+            open_row: vec![u64::MAX; total],
+            busy_until: vec![0; total],
+            bus_free: vec![0; cfg.channels],
+            touched: vec![false; total],
+            idle_skipped: 0,
+        }
+    }
+
+    fn access(&mut self, now: Cycle, block: BlockAddr) -> Cycle {
+        let idx = block.index();
+        let channel = (idx % self.cfg.channels as u64) as usize;
+        let row_global = idx / self.cfg.channels as u64 / self.blocks_per_row;
+        let bank = (row_global % self.banks_per_channel as u64) as usize;
+        let row = row_global / self.banks_per_channel as u64;
+        let bi = channel * self.banks_per_channel + bank;
+
+        if self.touched[bi] {
+            self.idle_skipped += now.saturating_sub(self.busy_until[bi]);
+        }
+        self.touched[bi] = true;
+
+        let start = now.max(self.busy_until[bi]);
+        let array = if self.open_row[bi] == row {
+            self.cfg.t_cas
+        } else if self.open_row[bi] != u64::MAX {
+            self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
+        } else {
+            self.cfg.t_rcd + self.cfg.t_cas
+        };
+        let data_ready = start + array;
+        let done = data_ready.max(self.bus_free[channel]) + self.cfg.t_burst;
+        self.open_row[bi] = row;
+        self.busy_until[bi] = data_ready;
+        self.bus_free[channel] = done;
+        done
+    }
+}
+
+props! {
+    #![cases(48)]
+
+    #[test]
+    fn timing_and_idle_skip_match_shadow_under_any_drain_placement(
+        seed in any::<u64>(),
+        accesses in 20usize..200,
+    ) {
+        let cfg = SystemConfig::default().dram;
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut dram = DramModel::new(&cfg);
+        let mut shadow = SlabShadow::new(&cfg);
+        let mut now: Cycle = 0;
+        for _ in 0..accesses {
+            // Mixed cadence: bursts at one cycle, short gaps, long idle
+            // windows — plus randomly placed runner drains.
+            now += match rng.index(4) {
+                0 => 0,
+                1 => 1 + rng.next_u64() % 50,
+                2 => 1 + rng.next_u64() % 2_000,
+                _ => 10_000 + rng.next_u64() % 500_000,
+            };
+            if rng.chance(0.4) {
+                dram.advance_to(now + rng.next_u64() % 1_000);
+            }
+            // Small block universe so banks and rows collide often.
+            let block = BlockAddr::new(rng.next_u64() % 96);
+            let is_write = rng.chance(0.3);
+            let done = dram.access(now, block, is_write);
+            prop_assert_eq!(done, shadow.access(now, block));
+        }
+        // Idle-skip accounting must match the slab definition exactly.
+        prop_assert_eq!(dram.stats().idle_skipped_cycles.get(), shadow.idle_skipped);
+    }
+
+    #[test]
+    fn batched_legs_equal_serial_legs(seed in any::<u64>(), rounds in 5usize..40) {
+        let cfg = SystemConfig::default().dram;
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut batched = DramModel::new(&cfg);
+        let mut serial = DramModel::new(&cfg);
+        let mut now: Cycle = 0;
+        let mut done_b = Vec::new();
+        for _ in 0..rounds {
+            now += rng.next_u64() % 30_000;
+            let legs: Vec<(BlockAddr, bool)> = (0..1 + rng.index(6))
+                .map(|_| (BlockAddr::new(rng.next_u64() % 64), rng.chance(0.4)))
+                .collect();
+            batched.access_many(now, &legs, &mut done_b);
+            for (i, &(blk, w)) in legs.iter().enumerate() {
+                prop_assert_eq!(done_b[i], serial.access(now, blk, w));
+            }
+        }
+        prop_assert_eq!(
+            batched.stats().idle_skipped_cycles.get(),
+            serial.stats().idle_skipped_cycles.get()
+        );
+        prop_assert_eq!(
+            batched.stats().events_stale.get(),
+            serial.stats().events_stale.get()
+        );
+        prop_assert_eq!(batched.pending_events(), serial.pending_events());
+    }
+}

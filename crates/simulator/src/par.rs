@@ -58,7 +58,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
-use crate::calendar::EventCalendar;
+use crate::calendar::{CalendarEvent, EventCalendar};
 use crate::system::{
     export_shared_stats, CoreResult, MixResult, ObservedRun, RunConfig, SchemeInstance, SchemeKind,
 };
@@ -332,7 +332,7 @@ fn pop_ring(rx: &mut Consumer<FrontEv>, waits: &mut u64) -> FrontEv {
 /// minimum over shard heads reproduces the single-calendar pop order
 /// bit-for-bit regardless of how cores are sharded.
 struct ShardedCalendar {
-    shards: Vec<EventCalendar<usize>>,
+    shards: Vec<EventCalendar<CalendarEvent>>,
 }
 
 impl ShardedCalendar {
@@ -342,8 +342,23 @@ impl ShardedCalendar {
         }
     }
 
-    fn schedule(&mut self, shard: usize, at: Cycle, tie: u64, core: usize) {
-        self.shards[shard].schedule(at, tie, core);
+    fn schedule(&mut self, shard: usize, at: Cycle, tie: u64, ev: CalendarEvent) {
+        self.shards[shard].schedule(at, tie, ev);
+    }
+
+    /// `(cycle, tie)` of the earliest entry across every shard — what a
+    /// [`pop`](Self::pop) would return next; the commit loop's fast path
+    /// compares the running core's key against this.
+    fn peek_min_key(&self) -> Option<(Cycle, u64)> {
+        self.shards
+            .iter()
+            .filter_map(EventCalendar::peek_key)
+            .min()
+    }
+
+    /// Total queued entries across shards (the serial calendar's `len`).
+    fn len(&self) -> usize {
+        self.shards.iter().map(EventCalendar::len).sum()
     }
 
     fn pop(&mut self) -> Option<usize> {
@@ -356,7 +371,10 @@ impl ShardedCalendar {
             }
         }
         let (_, _, si) = best?;
-        self.shards[si].pop().map(|(_, core)| core)
+        self.shards[si].pop().map(|(_, ev)| match ev {
+            CalendarEvent::CoreReady(core) => core,
+            other => unreachable!("commit calendar holds only CoreReady, got {other:?}"),
+        })
     }
 }
 
@@ -558,9 +576,15 @@ pub fn run_mix_observed_par(
     let mut calendar = ShardedCalendar::new(worker_count);
     for (i, c) in cores.iter().enumerate() {
         if c.accesses < measure_total {
-            calendar.schedule(shard_of_gen[c.gen], c.now, i as u64, i);
+            calendar.schedule(shard_of_gen[c.gen], c.now, i as u64, CalendarEvent::CoreReady(i));
         }
     }
+    // Run-until-preempted fast path and occupancy peak, mirroring the
+    // serial engine exactly (see `system.rs`): same strict-key comparison,
+    // same per-iteration occupancy value, so the emitted `cal.occupancy`
+    // series and exported peak are bit-identical across engines.
+    let mut next: Option<usize> = None;
+    let mut occ_peak: usize = 0;
 
     std::thread::scope(|s| {
         let stops_ref = &stops;
@@ -574,7 +598,14 @@ pub fn run_mix_observed_par(
         }
 
         // ── The commit loop: the serial algorithm, fed from rings. ──
-        while let Some(idx) = calendar.pop() {
+        loop {
+            let idx = match next.take() {
+                Some(i) => i,
+                None => match calendar.pop() {
+                    Some(i) => i,
+                    None => break,
+                },
+            };
             cprof.mark(P_CAL, cores[idx].now);
             if debug_warm && !measuring {
                 let states: Vec<String> = cores
@@ -590,12 +621,17 @@ pub fn run_mix_observed_par(
                 && last_warm.iter().all(|&w| w)
             {
                 measuring = true;
+                // Same epoch-edge settle as the serial engine, at the same
+                // selection site: every deferred DRAM transition due by the
+                // least-advanced core's cycle fires before the snapshot.
+                dram.advance_to(cores[idx].now);
                 epoch_stats = *scheme.stats();
                 export_par_run_stats(&scheme, &dram, &llc, &cores, &mut epoch_reg);
                 // Same flip-aligned wipe as the serial engine, so window
                 // sums equal registry epoch deltas; the phase profile
                 // restarts with the measurement window too.
                 obs.timeline.clear();
+                occ_peak = 0;
                 cprof.reset();
                 if obs.tracer.enabled() {
                     let flip = cores.iter().map(|c| c.now).min().unwrap_or(0);
@@ -809,7 +845,17 @@ pub fn run_mix_observed_par(
 
             let c = &cores[idx];
             if c.accesses < measure_total {
-                calendar.schedule(shard_of_gen[c.gen], c.now, idx as u64, idx);
+                let key = (c.now, idx as u64);
+                if calendar.peek_min_key().is_none_or(|head| key < head) {
+                    next = Some(idx);
+                } else {
+                    calendar.schedule(
+                        shard_of_gen[c.gen],
+                        c.now,
+                        idx as u64,
+                        CalendarEvent::CoreReady(idx),
+                    );
+                }
             } else {
                 // Core retired. Once a whole process is done, stop its
                 // producer front promptly so idle generators don't spin.
@@ -817,6 +863,13 @@ pub fn run_mix_observed_par(
                 if live_cores_of_gen[gen_idx] == 0 {
                     stops[gen_idx].store(true, Ordering::Release);
                 }
+            }
+            let occ = calendar.len() + next.is_some() as usize + dram.pending_events();
+            if occ > occ_peak {
+                occ_peak = occ;
+            }
+            if tl_on {
+                obs.timeline.gauge("cal.occupancy", cores[idx].now, occ as f64);
             }
         }
 
@@ -864,9 +917,12 @@ pub fn run_mix_observed_par(
         })
         .collect();
 
+    // Same end-edge settle as the serial engine before the final export.
+    dram.advance_to(cores.iter().map(|c| c.now).max().unwrap_or(0));
     let mut end_reg = StatsRegistry::new();
     export_par_run_stats(&scheme, &dram, &llc, &cores, &mut end_reg);
     let mut registry = end_reg.delta(&epoch_reg);
+    registry.set_gauge("cal.occupancy_peak", occ_peak as f64);
     registry.set_counter("run.core_accesses", core_accesses);
     registry.set_counter("run.llc_miss_reads", llc_miss_reads);
     registry.set_counter("run.read_latency_sum", read_latency_sum);

@@ -1,6 +1,6 @@
 //! The multicore engine and per-mix runner.
 
-use crate::calendar::EventCalendar;
+use crate::calendar::{CalendarEvent, EventCalendar};
 use ivl_cache::randomized::RandomizedCache;
 use ivl_cache::set_assoc::SetAssocCache;
 use ivl_cache::CacheModel;
@@ -371,7 +371,6 @@ struct Core {
     /// share one generator: one heap, one footprint).
     gen: usize,
     domain: DomainId,
-    l1: SetAssocCache,
     l2: SetAssocCache,
     /// Local clock.
     now: Cycle,
@@ -588,11 +587,9 @@ pub fn run_mix_observed_with_scheduler(
             cores.push(Core {
                 gen: pi,
                 domain,
-                l1: SetAssocCache::with_geometry(
-                    cfg.core.l1.capacity_bytes,
-                    cfg.core.l1.ways,
-                    cfg.core.l1.line_bytes,
-                ),
+                // The trace models post-L1 traffic, so the first private
+                // level a core owns here is its L2 (the parallel engine
+                // mirrors this layout).
                 l2: SetAssocCache::with_geometry(
                     cfg.core.l2.capacity_bytes,
                     cfg.core.l2.ways,
@@ -628,40 +625,59 @@ pub fn run_mix_observed_with_scheduler(
     // one per event (std::env::var takes a process-wide lock and scans the
     // environment block).
     let debug_warm = std::env::var("IVL_DEBUG_WARM").is_ok();
-    // Event calendar over core-ready cycles: each eligible core holds
-    // exactly one entry, keyed `(ready cycle, core index)`, so a pop is
-    // the least-advanced core with lowest-index tie-breaking — the same
-    // loose global ordering the linear scan produced, in O(log n).
-    let mut calendar: EventCalendar<usize> = EventCalendar::with_capacity(cores.len());
+    // Event calendar over typed events: each eligible core holds exactly
+    // one `CoreReady` entry, keyed `(ready cycle, core index)`, so a pop
+    // is the least-advanced core with lowest-index tie-breaking — the same
+    // loose global ordering the linear scan produced, in O(log n). The
+    // DRAM model's bank-ready / bus-drain transitions live in its own
+    // internal slot calendar: the access path reclaims due slots in place
+    // (idle-window accounting is invariant to where the clock is advanced,
+    // pinned by the dram-sim property tests), and the runner settles
+    // anything still outstanding at the epoch edges below.
+    let mut calendar: EventCalendar<CalendarEvent> = EventCalendar::with_capacity(cores.len());
     if scheduler == SchedulerKind::EventCalendar {
         for (i, c) in cores.iter().enumerate() {
             if c.accesses < measure_total {
-                calendar.schedule(c.now, i as u64, i);
+                calendar.schedule(c.now, i as u64, CalendarEvent::CoreReady(i));
             }
         }
     }
+    // Run-until-preempted fast path: when the core that just executed is
+    // still strictly the earliest-keyed runnable core, keep running it
+    // without a schedule/pop round-trip through the heap. Identical
+    // selection order by construction — a fresh entry's sequence number is
+    // larger than every queued one, so a strict key win is exactly the
+    // case where the heap would have returned the same core.
+    let mut next: Option<usize> = None;
+    // Peak calendar occupancy (runnable core entries plus the running
+    // core's implicit entry plus pending DRAM model events); reset at the
+    // warmup→measurement flip so the exported gauge covers the window.
+    let mut occ_peak: usize = 0;
 
     loop {
         // Least-advanced core executes next (loose global ordering).
-        let idx = match scheduler {
-            SchedulerKind::EventCalendar => match calendar.pop() {
-                Some((_, i)) => i,
-                None => break,
-            },
-            SchedulerKind::LinearScan => {
-                match cores
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| c.accesses < measure_total)
-                    .min_by_key(|(_, c)| c.now)
-                    .map(|(i, _)| i)
-                {
-                    Some(i) => i,
+        let idx = match next.take() {
+            Some(i) => i,
+            None => match scheduler {
+                SchedulerKind::EventCalendar => match calendar.pop() {
+                    Some((_, CalendarEvent::CoreReady(i))) => i,
+                    Some((_, ev)) => unreachable!("runner schedules only CoreReady, got {ev:?}"),
                     None => break,
+                },
+                SchedulerKind::LinearScan => {
+                    match cores
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.accesses < measure_total)
+                        .min_by_key(|(_, c)| c.now)
+                        .map(|(i, _)| i)
+                    {
+                        Some(i) => i,
+                        None => break,
+                    }
                 }
-            }
+            },
         };
-
         // Flip to the measurement window once every core leaves warmup and
         // its footprint is resident.
         if debug_warm && !measuring {
@@ -678,11 +694,17 @@ pub fn run_mix_observed_with_scheduler(
             && gens.iter().all(TraceGenerator::warmed_up)
         {
             measuring = true;
+            // Settle the DRAM clock at the epoch edge: every deferred
+            // transition due by the least-advanced core's cycle fires in
+            // one sweep, so the occupancy gauge enters the measurement
+            // window counting only genuinely pending transitions.
+            dram.advance_to(cores[idx].now);
             epoch_stats = *scheme.stats();
             export_run_stats(&scheme, &dram, &llc, &cores, &mut epoch_reg);
             // Clear at the same flip the registry snapshot is taken, so the
             // timeline's window sums equal the registry's epoch deltas.
             obs.timeline.clear();
+            occ_peak = 0;
             if obs.tracer.enabled() {
                 let flip = cores.iter().map(|c| c.now).min().unwrap_or(0);
                 obs.tracer.emit(
@@ -855,7 +877,6 @@ pub fn run_mix_observed_with_scheduler(
                     // from the hierarchy, so no write-back of a dead page can
                     // reach the integrity machinery later.
                     for b in page.blocks() {
-                        core.l1.invalidate(b.index());
                         core.l2.invalidate(b.index());
                         llc.invalidate(b.index());
                     }
@@ -871,11 +892,24 @@ pub fn run_mix_observed_with_scheduler(
 
         // Requeue the core at its new ready cycle; a core past its access
         // budget simply leaves the calendar (mirroring the linear scan's
-        // eligibility filter).
+        // eligibility filter). If the core is still strictly ahead of the
+        // calendar head it keeps running without touching the heap.
         if scheduler == SchedulerKind::EventCalendar {
             let c = &cores[idx];
             if c.accesses < measure_total {
-                calendar.schedule(c.now, idx as u64, idx);
+                let key = (c.now, idx as u64);
+                if calendar.peek_key().is_none_or(|head| key < head) {
+                    next = Some(idx);
+                } else {
+                    calendar.schedule(c.now, idx as u64, CalendarEvent::CoreReady(idx));
+                }
+            }
+            let occ = calendar.len() + next.is_some() as usize + dram.pending_events();
+            if occ > occ_peak {
+                occ_peak = occ;
+            }
+            if tl_on {
+                obs.timeline.gauge("cal.occupancy", cores[idx].now, occ as f64);
             }
         }
     }
@@ -911,9 +945,18 @@ pub fn run_mix_observed_with_scheduler(
         })
         .collect();
 
+    // Settle the DRAM clock at the run's end edge (the mirror of the
+    // flip-time sweep) before the final export.
+    dram.advance_to(cores.iter().map(|c| c.now).max().unwrap_or(0));
     let mut end_reg = StatsRegistry::new();
     export_run_stats(&scheme, &dram, &llc, &cores, &mut end_reg);
     let mut registry = end_reg.delta(&epoch_reg);
+    if scheduler == SchedulerKind::EventCalendar {
+        // Measurement-window peak of the `cal.occupancy` timeline gauge —
+        // set after the delta (occ_peak was reset at the flip, so the end
+        // export alone is the window value).
+        registry.set_gauge("cal.occupancy_peak", occ_peak as f64);
+    }
     registry.set_counter("run.core_accesses", core_accesses);
     registry.set_counter("run.llc_miss_reads", llc_miss_reads);
     registry.set_counter("run.read_latency_sum", read_latency_sum);

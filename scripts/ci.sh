@@ -26,15 +26,18 @@
 #                             (serial == parallel figure data over the full
 #                             mix x scheme matrix) at IVL_WORKERS 1, 2, 4, 8
 #   7. bench smoke + gate   - one quick ivl-bench micro run, diffed against
-#                             BENCH_pr8.json by bench_compare; fails on a
+#                             BENCH_pr10.json by bench_compare; fails on a
 #                             median regression beyond the threshold
 #                             (IVL_BENCH_GATE_THRESHOLD, default 1.5 = 2.5x)
 #   8. observability smoke  - obs_run writes + self-validates a trace
 #                             (JSONL) and stats registry (JSON) for a quick
 #                             mix and a short attack, once per engine
-#                             (serial, then IVL_PAR_SYSTEM=1)
+#                             (serial, then IVL_PAR_SYSTEM=1); afterwards
+#                             the serial and ParSystem stats files must
+#                             agree on dram.idle_skipped_cycles (idle-window
+#                             skipping is deterministic figure state)
 #   9. figures wall-clock   - all_figures --quick (release only) must finish
-#                             within IVL_FIGURES_BUDGET_SECS (default 300);
+#                             within IVL_FIGURES_BUDGET_SECS (default 240);
 #                             catches campaign-layer slowdowns the per-bench
 #                             medians cannot see. A second, ParSystem-engine
 #                             run shares the same budget
@@ -162,7 +165,7 @@ BENCH_JSON="$(pwd)/target/bench_quick.json"
 IVL_BENCH_QUICK=1 IVL_BENCH_JSON="$BENCH_JSON" \
     cargo bench -p ivl-bench --locked --offline
 
-step "bench regression gate (vs BENCH_pr8.json)"
+step "bench regression gate (vs BENCH_pr10.json)"
 # The snapshot holds full-mode medians while this leg runs quick mode, and
 # quick-mode medians on a shared runner straight after a long build are
 # systematically slower (short warm-up, hot machine) on top of being noisy
@@ -170,7 +173,7 @@ step "bench regression gate (vs BENCH_pr8.json)"
 # threshold absorbs that; the gate catches order-of-magnitude mistakes,
 # not percent-level drift.
 cargo run -q -p ivl-bench --bin bench_compare --locked --offline -- \
-    BENCH_pr8.json "$BENCH_JSON" \
+    BENCH_pr10.json "$BENCH_JSON" \
     --threshold "${IVL_BENCH_GATE_THRESHOLD:-1.5}"
 
 step "observability smoke (obs_run --quick)"
@@ -192,14 +195,31 @@ IVL_PAR_SYSTEM=1 IVL_PAR_WORKERS=2 \
     IVL_TRACE_CAP=50000 \
     cargo run -q -p ivl-bench --bin obs_run --locked --offline -- S-1 IvPro --quick
 
+step "idle-skip cross-engine check"
+# dram.idle_skipped_cycles is deterministic figure state: the slabs stay
+# authoritative for timing, so the serial and ParSystem engines must skip
+# the exact same number of idle DRAM cycles. obs_run already asserts the
+# counter is nonzero in each engine; this compares the two exports.
+SKIP_SERIAL=$(grep -o '"dram\.idle_skipped_cycles"[^,}]*' target/obs_stats.json)
+SKIP_PAR=$(grep -o '"dram\.idle_skipped_cycles"[^,}]*' target/obs_stats_par.json)
+echo "serial: ${SKIP_SERIAL:-missing}  par: ${SKIP_PAR:-missing}"
+if [ -z "$SKIP_SERIAL" ] || [ "$SKIP_SERIAL" != "$SKIP_PAR" ]; then
+    echo "FAIL: idle-skip accounting diverged between engines" >&2
+    exit 1
+fi
+
 step "timeline smoke (timeline_report --quick)"
 # Serial + ParSystem at 1/2/4 workers with the windowed timeline live:
 # the binary reconciles window sums against registry deltas, pins the
 # serial-comparable series bit-identical across engines, gates the
 # commit-thread folded stack at >= 95% named coverage, and round-trips
 # the JSONL it writes (uploaded as an artifact alongside the trace).
+# The report's stdout carries the per-worker `par.commitphase.*` folded
+# stacks; keep it as an artifact next to the timeline JSONL so commit-
+# thread regressions can be flame-diffed across PRs.
 IVL_TIMELINE="$(pwd)/target/obs_timeline.jsonl" \
-    cargo run -q -p ivl-bench --bin timeline_report --locked --offline -- S-1 IvPro --quick
+    cargo run -q -p ivl-bench --bin timeline_report --locked --offline -- S-1 IvPro --quick \
+    | tee target/obs_commit_stacks.txt
 
 if [ "$PROFILE_FILTER" != "debug" ]; then
     step "figures wall-clock smoke (all_figures --quick)"
@@ -211,7 +231,7 @@ if [ "$PROFILE_FILTER" != "debug" ]; then
     # sweep, a lost parallel runner — that the micro-bench medians cannot
     # see. Debug-only runs skip it: the budget is calibrated for the
     # release profile.
-    FIGURES_BUDGET="${IVL_FIGURES_BUDGET_SECS:-300}"
+    FIGURES_BUDGET="${IVL_FIGURES_BUDGET_SECS:-240}"
     FIGURES_START=$(date +%s)
     cargo run -q --release -p ivl-bench --bin all_figures --locked --offline -- --quick
     FIGURES_ELAPSED=$(($(date +%s) - FIGURES_START))
